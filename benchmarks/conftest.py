@@ -1,0 +1,43 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark file regenerates one table/figure of the paper (see
+DESIGN.md's experiment index) and prints a paper-vs-measured comparison
+through ``capsys.disabled()`` so the tables always reach the terminal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concepts.resume_kb import build_resume_knowledge_base
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.schema.paths import extract_paths
+
+SEED = 1966
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return build_resume_knowledge_base()
+
+
+@pytest.fixture(scope="session")
+def converter(kb):
+    return DocumentConverter(kb)
+
+
+@pytest.fixture(scope="session")
+def corpus50():
+    """The 50-document corpus of the Figure 4 experiment."""
+    return ResumeCorpusGenerator(seed=SEED).generate(50)
+
+
+@pytest.fixture(scope="session")
+def converted50(converter, corpus50):
+    return [converter.convert(doc.html) for doc in corpus50]
+
+
+@pytest.fixture(scope="session")
+def documents50(converted50):
+    return [extract_paths(result.root) for result in converted50]

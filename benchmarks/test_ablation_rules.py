@@ -1,0 +1,102 @@
+"""Design ablations on the conversion rules themselves.
+
+Two choices DESIGN.md flags for ablation:
+
+* *Grouping-rule tag weights* (Section 2.3.2): "grouping right siblings
+  of nodes marked with h1 has a higher priority than grouping right
+  siblings of nodes marked with p at the same level."  We compare the
+  paper's heading-dominant weights against flat weights (all equal) and
+  inverted weights (inline markup outranks headings).
+* *Tokenizer delimiter set* (Sections 2.3.1/4): the paper uses ``; , :``;
+  we compare against under-splitting (comma only) and over-splitting
+  (adding ``.`` -- which shreds abbreviations like "B.S." and decimal
+  GPAs).
+"""
+
+from __future__ import annotations
+
+from repro.convert.config import ConversionConfig
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.evaluation.accuracy import evaluate_accuracy
+from repro.evaluation.report import format_table
+from repro.htmlparse.taginfo import DEFAULT_GROUP_TAG_WEIGHTS
+
+DOCS = 30
+
+
+def accuracy_with(kb, config: ConversionConfig) -> float:
+    converter = DocumentConverter(kb, config)
+    docs = ResumeCorpusGenerator(seed=1966).generate(DOCS)
+    report = evaluate_accuracy(
+        [(converter.convert(d.html).root, d.ground_truth) for d in docs]
+    )
+    return report.accuracy
+
+
+def test_grouping_weight_ablation(benchmark, kb, capsys):
+    flat = {tag: 50 for tag in DEFAULT_GROUP_TAG_WEIGHTS}
+    inverted = {
+        tag: 200 - weight for tag, weight in DEFAULT_GROUP_TAG_WEIGHTS.items()
+    }
+
+    def run():
+        return {
+            "paper weights (headings dominate)": accuracy_with(
+                kb, ConversionConfig()
+            ),
+            "flat weights (all equal)": accuracy_with(
+                kb, ConversionConfig(group_tag_weights=flat)
+            ),
+            "inverted weights (inline dominates)": accuracy_with(
+                kb, ConversionConfig(group_tag_weights=inverted)
+            ),
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["grouping weights", "accuracy %"],
+                [[name, f"{acc:.1f}"] for name, acc in rows.items()],
+                title="[ablation] Grouping-rule tag weights (Section 2.3.2)",
+            )
+        )
+
+    paper = rows["paper weights (headings dominate)"]
+    inverted_acc = rows["inverted weights (inline dominates)"]
+    # The paper's heading-dominant ordering must not lose to inversion.
+    assert paper >= inverted_acc - 0.5
+    assert paper > 80.0
+
+
+def test_delimiter_ablation(benchmark, kb, capsys):
+    def run():
+        return {
+            "; , :  (paper)": accuracy_with(kb, ConversionConfig()),
+            ",  (under-splitting)": accuracy_with(
+                kb, ConversionConfig(delimiters=(",",))
+            ),
+            "; , : .  (over-splitting)": accuracy_with(
+                kb, ConversionConfig(delimiters=(";", ",", ":", "."))
+            ),
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["delimiters", "accuracy %"],
+                [[name, f"{acc:.1f}"] for name, acc in rows.items()],
+                title="[ablation] Tokenization delimiters (Section 2.3.1)",
+            )
+        )
+
+    paper = rows["; , :  (paper)"]
+    # The paper's set should be at least as good as both perturbations.
+    assert paper >= rows[",  (under-splitting)"] - 0.5
+    assert paper >= rows["; , : .  (over-splitting)"] - 0.5

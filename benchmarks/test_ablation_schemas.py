@@ -1,0 +1,95 @@
+"""Experiment E7 -- Section 1/5 ablation: majority schema vs DataGuide vs
+lower-bound schema.
+
+Paper (Introduction + Conclusions): a DataGuide provides "too much
+detail" and a lower-bound schema "not enough" for integrating documents
+into a repository; "our results show that such conversions are only
+reasonable by using a majority schema".
+
+Reproduction: derive a DTD from each schema type over the same corpus
+and measure (a) schema size and (b) the repair cost of conforming every
+document to it.  Expected shape: the DataGuide is much larger and, used
+as an integration target, forces massive *fabrication* (every rare path
+observed anywhere becomes part of the target, so documents need huge
+insertion counts); the lower bound is tiny and forces massive
+*destruction* (most recovered structure is dropped); the majority schema
+sits between with the lowest total repair cost.
+"""
+
+from __future__ import annotations
+
+from repro.dom.treeops import clone
+from repro.evaluation.report import format_table
+from repro.mapping.conform import conform_document
+from repro.schema.dataguide import build_dataguide
+from repro.schema.dtd import derive_dtd
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.lowerbound import build_lower_bound_schema
+from repro.schema.majority import MajoritySchema
+
+
+def repair_stats(results, dtd):
+    total_ops = 0
+    dropped = 0
+    for result in results:
+        copy = clone(result.root)
+        outcome = conform_document(copy, dtd)
+        total_ops += outcome.total_operations
+        dropped += outcome.dropped
+    return total_ops / len(results), dropped / len(results)
+
+
+def test_schema_type_ablation(benchmark, kb, converted50, documents50, capsys):
+    def run():
+        majority = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(
+                documents50,
+                sup_threshold=0.4,
+                constraints=kb.constraints,
+                candidate_labels=kb.concept_tags(),
+            )
+        )
+        dataguide = build_dataguide(documents50)
+        lower = build_lower_bound_schema(documents50)
+        out = {}
+        for name, schema in (
+            ("majority (sup=0.4)", majority),
+            ("DataGuide (upper bound)", dataguide),
+            ("lower bound (sup=1.0)", lower),
+        ):
+            dtd = derive_dtd(schema, documents50)
+            ops, drops = repair_stats(converted50, dtd)
+            out[name] = (schema.element_count(), dtd.element_count(), ops, drops)
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["schema", "schema nodes", "DTD elements", "repair ops/doc", "drops/doc"],
+                [
+                    [name, nodes, elements, f"{ops:.1f}", f"{drops:.1f}"]
+                    for name, (nodes, elements, ops, drops) in table.items()
+                ],
+                title="[E7] Majority schema vs DataGuide vs lower bound",
+            )
+        )
+
+    majority_nodes, _, majority_ops, majority_drops = table["majority (sup=0.4)"]
+    guide_nodes, _, guide_ops, guide_drops = table["DataGuide (upper bound)"]
+    lower_nodes, _, lower_ops, lower_drops = table["lower bound (sup=1.0)"]
+
+    # Size ordering: lower < majority < DataGuide.
+    assert lower_nodes < majority_nodes < guide_nodes
+    # "Too much detail": targeting the DataGuide forces fabricating the
+    # union of every structure ever observed -- repair cost explodes.
+    assert guide_ops > majority_ops * 5
+    # It never needs to drop anything, though: it accepts all content.
+    assert guide_drops <= majority_drops
+    # "Not enough detail": the lower bound destroys the most content.
+    assert lower_drops > majority_drops
+    # The majority schema is the cheapest integration target overall.
+    assert majority_ops <= lower_ops
+    assert majority_ops <= guide_ops

@@ -1,0 +1,138 @@
+"""Experiment E12 -- Section 5: the broader topic (product catalogs).
+
+Paper (conclusions): "the goal of this more recent investigation is ...
+to build XML repositories capturing linked HTML documents pertaining to
+broader topics such as product catalogs or University Web sites."
+
+Reproduction: the UNCHANGED pipeline -- same four rules, same miner,
+same DTD derivation, same mapping -- run with the product-catalog
+knowledge base over a synthetic catalog corpus.  Expected shape: high
+extraction accuracy (catalog markup is more regular than resumes), a
+catalog-shaped DTD, and full integration into a repository.
+"""
+
+from __future__ import annotations
+
+from repro.concepts.catalog_kb import build_catalog_knowledge_base
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.catalog import CatalogCorpusGenerator
+from repro.evaluation.accuracy import evaluate_accuracy
+from repro.evaluation.report import format_table
+from repro.mapping.repository import XMLRepository
+from repro.schema.dtd import derive_dtd
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.majority import MajoritySchema
+from repro.schema.paths import extract_paths
+
+DOCS = 40
+
+
+def test_catalog_topic(benchmark, capsys):
+    catalog_kb = build_catalog_knowledge_base()
+    converter = DocumentConverter(catalog_kb)
+    docs = CatalogCorpusGenerator(seed=5).generate(DOCS)
+
+    def run():
+        results = [converter.convert(d.html) for d in docs]
+        accuracy = evaluate_accuracy(
+            [(r.root, d.ground_truth) for r, d in zip(results, docs)]
+        )
+        documents = [extract_paths(r.root) for r in results]
+        schema = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(
+                documents,
+                sup_threshold=0.4,
+                constraints=catalog_kb.constraints,
+                candidate_labels=catalog_kb.concept_tags(),
+            )
+        )
+        dtd = derive_dtd(schema, documents, optional_threshold=0.9)
+        repository = XMLRepository(dtd)
+        for result in results:
+            repository.insert(result.root)
+        return accuracy, dtd, repository
+
+    accuracy, dtd, repository = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["documents", DOCS],
+                    ["accuracy %", f"{accuracy.accuracy:.1f}"],
+                    ["avg concept nodes/doc", f"{accuracy.avg_concept_nodes_per_document:.1f}"],
+                    ["DTD elements", dtd.element_count()],
+                    ["documents integrated", len(repository)],
+                    ["repair rate", f"{repository.stats.repair_rate:.2f}"],
+                ],
+                title="[E12 / Section 5] Broader topic: product catalogs "
+                "(same pipeline, different knowledge base)",
+            )
+        )
+        print()
+        print(dtd.render())
+
+    assert accuracy.accuracy > 90.0
+    assert dtd.root_name == "catalog"
+    assert {"price", "sku", "manufacturer"} <= set(dtd.elements)
+    assert len(repository) == DOCS
+
+
+def test_university_topic(benchmark, capsys):
+    """The other broader topic Section 5 names: University Web sites
+    (faculty directories), same pipeline again."""
+    from repro.corpus.university import (
+        DirectoryCorpusGenerator,
+        build_university_knowledge_base,
+    )
+
+    univ_kb = build_university_knowledge_base()
+    converter = DocumentConverter(univ_kb)
+    docs = DirectoryCorpusGenerator(seed=4).generate(30)
+
+    def run():
+        results = [converter.convert(d.html) for d in docs]
+        accuracy = evaluate_accuracy(
+            [(r.root, d.ground_truth) for r, d in zip(results, docs)]
+        )
+        documents = [extract_paths(r.root) for r in results]
+        schema = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(
+                documents,
+                sup_threshold=0.4,
+                constraints=univ_kb.constraints,
+                candidate_labels=univ_kb.concept_tags(),
+            )
+        )
+        dtd = derive_dtd(schema, documents, optional_threshold=0.9)
+        repository = XMLRepository(dtd)
+        for result in results:
+            repository.insert(result.root)
+        return accuracy, dtd, repository
+
+    accuracy, dtd, repository = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["documents", len(docs)],
+                    ["accuracy %", f"{accuracy.accuracy:.1f}"],
+                    ["DTD elements", dtd.element_count()],
+                    ["documents integrated", len(repository)],
+                ],
+                title="[E13 / Section 5] Broader topic: university faculty "
+                "directories (same pipeline, third knowledge base)",
+            )
+        )
+        print()
+        print(dtd.render())
+
+    assert accuracy.accuracy > 88.0
+    assert dtd.root_name == "directory"
+    assert "faculty" in dtd.elements
+    assert len(repository) == len(docs)

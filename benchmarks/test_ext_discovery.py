@@ -1,0 +1,90 @@
+"""Experiment E11 -- Section 5 extension: automatic concept-instance
+discovery.
+
+Paper (future work): "we are developing different methods to
+automatically extract concept instances from a training set of HTML
+documents and thus to further automate the process."
+
+Reproduction: mine keyword proposals from labeled training documents,
+augment the knowledge base, and measure the effect on the
+unidentified-token ratio (the paper's user-feedback metric) and on
+extraction accuracy.  Expected shape: the ratio drops as training data
+grows, without hurting accuracy.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.concepts.discovery import augment_knowledge_base, propose_instances
+from repro.convert.config import ConversionConfig
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.dom.treeops import iter_elements
+from repro.evaluation.accuracy import evaluate_accuracy
+from repro.evaluation.report import format_table
+
+TRAIN_SIZES = (0, 10, 30, 80)
+EVAL_DOCS = 20
+
+
+def harvest_labels(docs):
+    return [
+        (element.get_val(), element.tag)
+        for doc in docs
+        for element in iter_elements(doc.ground_truth)
+        if element.get_val() and element.tag != "RESUME"
+    ]
+
+
+def test_instance_discovery(benchmark, kb, capsys):
+    generator = ResumeCorpusGenerator(seed=31)
+    eval_docs = generator.generate(EVAL_DOCS)
+    train_pool = generator.generate(max(TRAIN_SIZES), start_id=1000)
+
+    def measure(knowledge):
+        converter = DocumentConverter(knowledge, ConversionConfig())
+        results = [converter.convert(doc.html) for doc in eval_docs]
+        report = evaluate_accuracy(
+            [(r.root, d.ground_truth) for r, d in zip(results, eval_docs)]
+        )
+        unidentified = sum(
+            r.instance_stats.unidentified for r in results
+        ) / sum(r.instance_stats.total for r in results)
+        return report.accuracy, unidentified
+
+    def run():
+        rows = {}
+        for size in TRAIN_SIZES:
+            knowledge = copy.deepcopy(kb)
+            proposed = 0
+            if size:
+                proposals = propose_instances(
+                    harvest_labels(train_pool[:size]), kb=knowledge, min_count=4
+                )
+                proposed = augment_knowledge_base(knowledge, proposals)
+            rows[size] = (*measure(knowledge), proposed)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["training docs", "proposals added", "accuracy %", "unidentified %"],
+                [
+                    [size, added, f"{acc:.1f}", f"{100 * unident:.1f}"]
+                    for size, (acc, unident, added) in rows.items()
+                ],
+                title="[E11 / Section 5] Automatic instance discovery",
+            )
+        )
+
+    base_acc, base_unident, _ = rows[0]
+    best_acc, best_unident, added = rows[max(TRAIN_SIZES)]
+    assert added > 0
+    # The feedback metric improves ...
+    assert best_unident < base_unident
+    # ... without wrecking accuracy (small fluctuations allowed).
+    assert best_acc >= base_acc - 3.0

@@ -1,0 +1,80 @@
+"""Experiment E10 -- Section 5 extension: linkage structures.
+
+Paper (future work): "we are in particular interested in incorporating
+linkage structures among HTML documents ... to integrate even more
+heterogeneous, multi-topic HTML documents into XML repositories."
+
+Reproduction: a simulated web where every resume is a multi-page site
+(the skills section lives behind a "Technical Skills" link).  Converting
+each main page alone loses the linked section; the linked-document
+converter follows topic links and grafts the section back.  Expected
+shape: strictly fewer logical errors with link following, at a modest
+extra fetch cost.
+"""
+
+from __future__ import annotations
+
+from repro.convert.linked import LinkedDocumentConverter
+from repro.corpus.web import SimulatedWeb
+from repro.evaluation.accuracy import evaluate_accuracy
+from repro.evaluation.report import format_table
+
+RESUMES = 25
+
+
+def test_linked_document_conversion(benchmark, kb, converter, capsys):
+    web = SimulatedWeb(
+        resume_count=RESUMES, noise_count=20, seed=9, multipage_fraction=1.0
+    )
+    linked = LinkedDocumentConverter(
+        converter,
+        fetch=lambda url: (page.html if (page := web.fetch(url)) else None),
+    )
+    resumes = [web.fetch(url) for url in sorted(web.resume_urls())]
+
+    def run():
+        plain = evaluate_accuracy(
+            [
+                (converter.convert(page.html).root, page.resume.ground_truth)
+                for page in resumes
+            ]
+        )
+        outcomes = [linked.convert(page.html) for page in resumes]
+        merged = evaluate_accuracy(
+            [
+                (outcome.root, page.resume.ground_truth)
+                for outcome, page in zip(outcomes, resumes)
+            ]
+        )
+        followed = sum(len(outcome.followed) for outcome in outcomes)
+        return plain, merged, followed
+
+    plain, merged, followed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["conversion", "avg errors/doc", "avg error %", "accuracy %"],
+                [
+                    [
+                        "main page only",
+                        f"{plain.avg_errors_per_document:.1f}",
+                        f"{plain.avg_error_percentage:.1f}",
+                        f"{plain.accuracy:.1f}",
+                    ],
+                    [
+                        "with topic links followed",
+                        f"{merged.avg_errors_per_document:.1f}",
+                        f"{merged.avg_error_percentage:.1f}",
+                        f"{merged.accuracy:.1f}",
+                    ],
+                ],
+                title=f"[E10 / Section 5] Linked documents "
+                f"({RESUMES} multi-page resumes, {followed} links followed)",
+            )
+        )
+
+    assert followed == RESUMES  # every skills link found and fetched
+    assert merged.avg_errors_per_document < plain.avg_errors_per_document
+    assert merged.accuracy > plain.accuracy

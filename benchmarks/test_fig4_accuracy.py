@@ -1,0 +1,63 @@
+"""Experiment E1 -- Figure 4: data extraction accuracy.
+
+Paper: 50 manually inspected resumes; avg 3.9 errors/document, avg 53.7
+concept nodes/document, avg error 9.2% => accuracy 90.8%; histogram of
+documents per error band peaking in the middle bands.
+
+Reproduction: the same experiment with automatic error counting against
+generator ground truth.  Expect the same shape: error percentage around
+10%, histogram massed in the single-digit-to-low-teens bands.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.accuracy import evaluate_accuracy
+from repro.evaluation.report import format_histogram, format_table
+
+
+def test_figure4_accuracy(benchmark, converter, corpus50, capsys):
+    def run():
+        pairs = [
+            (converter.convert(doc.html).root, doc.ground_truth)
+            for doc in corpus50
+        ]
+        return evaluate_accuracy(pairs)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["metric", "measured", "paper"],
+                [
+                    ["documents inspected", report.document_count, 50],
+                    [
+                        "avg errors / document",
+                        f"{report.avg_errors_per_document:.1f}",
+                        "3.9",
+                    ],
+                    [
+                        "avg concept nodes / document",
+                        f"{report.avg_concept_nodes_per_document:.1f}",
+                        "53.7",
+                    ],
+                    ["avg error %", f"{report.avg_error_percentage:.1f}", "9.2"],
+                    ["accuracy %", f"{report.accuracy:.1f}", "90.8"],
+                ],
+                title="[E1 / Figure 4] Data extraction accuracy",
+            )
+        )
+        print()
+        print(
+            format_histogram(
+                report.histogram(), title="documents per error-% band"
+            )
+        )
+
+    # Shape assertions: the claim is ~90% accuracy with mid-band mass.
+    assert 84.0 <= report.accuracy <= 97.0
+    assert report.avg_concept_nodes_per_document > 30
+    bands = dict(report.histogram())
+    low_mass = bands.get("0-4", 0) + bands.get("4-8", 0) + bands.get("8-12", 0) + bands.get("12-16", 0)
+    assert low_mass >= report.document_count * 0.6

@@ -1,0 +1,61 @@
+"""Experiment E3 -- Figure 5: scalability.
+
+Paper: full pipeline (conversion + schema discovery) timed on datasets of
+up to 380 resumes on a Pentium 266; "the running time bears a very strong
+linear relationship with the number of concept nodes" (and with node and
+document counts); avg 35 s/document on that hardware.
+
+Reproduction: the same sweep on this machine.  Absolute seconds differ
+by orders of magnitude (hardware); the reproducible claim is linearity,
+asserted as R^2 of the least-squares fit.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import format_table
+from repro.evaluation.scaling import run_scaling_experiment
+
+SIZES = [25, 50, 100, 200, 380]
+
+
+def test_figure5_scalability(benchmark, kb, capsys):
+    report = benchmark.pedantic(
+        lambda: run_scaling_experiment(kb, SIZES, seed=1966),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [p.documents, p.nodes, p.concept_nodes, f"{p.seconds:.3f}"]
+        for p in report.points
+    ]
+    fits = {m: report.fit_against(m) for m in ("documents", "nodes", "concept_nodes")}
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["documents", "nodes", "concept nodes", "seconds"],
+                rows,
+                title="[E3 / Figure 5] Pipeline runtime vs corpus size",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["measure", "slope (s/unit)", "R^2"],
+                [
+                    [m, f"{slope:.2e}", f"{r2:.4f}"]
+                    for m, (slope, r2) in fits.items()
+                ],
+                title="linear fits (paper: 'very strong linear relationship')",
+            )
+        )
+        print(
+            f"\nseconds/document at 380 docs: {report.seconds_per_document:.4f} "
+            "(paper: 35 s/doc on a Pentium 266MHz)"
+        )
+
+    for measure, (slope, r2) in fits.items():
+        assert slope > 0, measure
+        assert r2 > 0.95, f"{measure} fit R^2={r2}"

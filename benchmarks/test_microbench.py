@@ -1,0 +1,87 @@
+"""Component micro-benchmarks (proper pytest-benchmark loops).
+
+Not paper experiments -- engineering numbers for the substrate pieces,
+useful when tuning: HTML parsing throughput, rule application, instance
+matching, path extraction, mining, and tree edit distance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.concepts.matcher import SynonymMatcher
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.dom.node import Element
+from repro.htmlparse.parser import parse_html
+from repro.htmlparse.tidy import tidy
+from repro.mapping.tree_edit import tree_edit_distance
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.paths import extract_paths
+
+
+@pytest.fixture(scope="module")
+def sample_html():
+    return ResumeCorpusGenerator(seed=8).generate_one(0).html
+
+
+def test_html_parse(benchmark, sample_html):
+    document = benchmark(parse_html, sample_html)
+    assert document.tag == "html"
+
+
+def test_tidy_pass(benchmark, sample_html):
+    def run():
+        return tidy(parse_html(sample_html))
+
+    assert benchmark(run).tag == "html"
+
+
+def test_full_conversion(benchmark, converter, sample_html):
+    result = benchmark(converter.convert, sample_html)
+    assert result.root.tag == "RESUME"
+
+
+def test_synonym_matching(benchmark, kb):
+    matcher = SynonymMatcher(kb)
+    token = "June 1996, University of California at Davis, B.S. (Computer Science)"
+    matches = benchmark(matcher.find_all, token)
+    assert matches
+
+
+def test_path_extraction(benchmark, converter, sample_html):
+    root = converter.convert(sample_html).root
+    documents = benchmark(extract_paths, root)
+    assert documents.paths
+
+
+def test_frequent_path_mining(benchmark, kb, converter):
+    corpus = ResumeCorpusGenerator(seed=8).generate_html(30)
+    documents = [extract_paths(converter.convert(html).root) for html in corpus]
+    result = benchmark(
+        mine_frequent_paths,
+        documents,
+        sup_threshold=0.4,
+        constraints=kb.constraints,
+        candidate_labels=kb.concept_tags(),
+    )
+    assert result.paths
+
+
+def test_tree_edit_distance_40_nodes(benchmark):
+    rng = random.Random(4)
+
+    def random_tree(n):
+        nodes = [Element("n0")]
+        for _ in range(n - 1):
+            parent = rng.choice(nodes)
+            child = Element(f"n{rng.randint(0, 6)}")
+            parent.append_child(child)
+            nodes.append(child)
+        return nodes[0]
+
+    a, b = random_tree(40), random_tree(40)
+    distance = benchmark(tree_edit_distance, a, b)
+    assert distance >= 0

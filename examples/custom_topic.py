@@ -1,0 +1,118 @@
+"""Using the framework on a different topic: university course listings.
+
+The paper's approach is topic-agnostic -- only the knowledge base is
+domain-specific ("the minimal user input to this process are topic
+specific concepts and concept instances").  This example builds a small
+knowledge base for course-catalog pages and converts three differently
+authored catalog fragments with the SAME rules used for resumes.
+
+Run:  python examples/custom_topic.py
+"""
+
+from repro import (
+    Concept,
+    ConceptInstance,
+    ConstraintSet,
+    DocumentConverter,
+    KnowledgeBase,
+    MajoritySchema,
+    derive_dtd,
+    extract_paths,
+    mine_frequent_paths,
+    to_xml,
+)
+from repro.concepts import ConceptRole
+
+
+def build_catalog_kb() -> KnowledgeBase:
+    """A minimal course-catalog knowledge base."""
+    concepts = [
+        Concept(
+            "catalog",
+            [ConceptInstance("course catalog"), ConceptInstance("course listing"),
+             ConceptInstance("schedule of classes")],
+            role=ConceptRole.TITLE,
+        ),
+        Concept(
+            "course",
+            [ConceptInstance(r"\b[A-Z]{2,4}\s?\d{2,3}[A-Z]?\b(?![:\d])", is_regex=True),
+             ConceptInstance("seminar"), ConceptInstance("lecture")],
+        ),
+        Concept(
+            "instructor",
+            [ConceptInstance("professor"), ConceptInstance("prof."),
+             ConceptInstance("dr."), ConceptInstance("instructor"),
+             ConceptInstance("staff")],
+        ),
+        Concept(
+            "units",
+            [ConceptInstance(r"\b\d\s?units?\b", is_regex=True),
+             ConceptInstance(r"\b\d\s?credits?\b", is_regex=True)],
+        ),
+        Concept(
+            "schedule",
+            [ConceptInstance(r"\b(Mon|Tue|Wed|Thu|Fri|MWF|TTh|MW)\b", is_regex=True),
+             ConceptInstance(r"\b\d{1,2}:\d{2}\s?(am|pm)?\b", is_regex=True)],
+        ),
+        Concept(
+            "room",
+            [ConceptInstance("hall"), ConceptInstance("room"),
+             ConceptInstance("auditorium"), ConceptInstance("lab")],
+        ),
+    ]
+    constraints = ConstraintSet(no_repeat_on_path=True, max_depth=3)
+    constraints.add_depth("CATALOG", "=", 1)
+    return KnowledgeBase("catalog", concepts, constraints)
+
+
+PAGES = [
+    # Author 1: headings and lists.
+    """
+    <html><head><title>CS Course Catalog</title></head><body>
+    <h1>Course Catalog</h1>
+    <h2>CS 101</h2>
+    <ul><li>Professor Smith</li><li>4 units</li><li>MWF 10:00, Wellman Hall</li></ul>
+    <h2>CS 152</h2>
+    <ul><li>Dr. Jones</li><li>3 units</li><li>TTh 1:30, Young Hall</li></ul>
+    </body></html>
+    """,
+    # Author 2: a table.
+    """
+    <html><head><title>Schedule of Classes</title></head><body>
+    <table>
+    <tr><td>ECS 140</td><td>Professor Gertz</td><td>4 units</td><td>MW 9:00</td></tr>
+    <tr><td>ECS 165</td><td>Staff</td><td>4 units</td><td>TTh 11:00</td></tr>
+    </table>
+    </body></html>
+    """,
+    # Author 3: bold runs and breaks.
+    """
+    <html><head><title>Course Listing</title></head><body>
+    <b>MAT 21A</b><br>Dr. Brown, 4 units, MWF 8:00, Storer Hall<br>
+    <b>PHY 9B</b><br>Professor White, 5 units, TTh 2:10, Physics Lab<br>
+    </body></html>
+    """,
+]
+
+
+def main() -> None:
+    kb = build_catalog_kb()
+    converter = DocumentConverter(kb)
+
+    results = [converter.convert(page) for page in PAGES]
+    for index, result in enumerate(results):
+        print(f"--- page {index + 1} ---")
+        print(to_xml(result.root))
+        print()
+
+    documents = [extract_paths(result.root) for result in results]
+    frequent = mine_frequent_paths(documents, sup_threshold=0.6)
+    schema = MajoritySchema.from_frequent_paths(frequent)
+    print("majority schema over the three catalogs:")
+    print(schema.describe())
+    print()
+    print(derive_dtd(schema, documents).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The Bayes-classifier feedback loop of Section 2.3.1.
+
+"It is thus advisable to use the ratio between identified and
+unidentifiable tokens ... as a feedback to the user who then in turn has
+to provide more training data to the classifier."
+
+This example plays that user: it starts with an untrained hybrid tagger,
+watches the unidentified-token ratio, labels a few more documents (using
+corpus ground truth as the stand-in for manual labeling), retrains, and
+repeats -- printing the ratio falling as training data accumulates.
+
+Run:  python examples/train_bayes_tagger.py
+"""
+
+from repro import (
+    ConversionConfig,
+    DocumentConverter,
+    MultinomialNaiveBayes,
+    ResumeCorpusGenerator,
+    build_resume_knowledge_base,
+)
+from repro.dom.treeops import iter_elements
+
+ROUNDS = (2, 5, 10, 25, 50)
+EVAL_DOCS = 20
+
+
+def label_tokens(docs):
+    """Harvest (token text, concept tag) labels from ground truth --
+    the synthetic stand-in for the user labeling documents."""
+    pairs = []
+    for doc in docs:
+        for element in iter_elements(doc.ground_truth):
+            if element.get_val() and element.tag != "RESUME":
+                pairs.append((element.get_val(), element.tag))
+    return pairs
+
+
+def main() -> None:
+    kb = build_resume_knowledge_base()
+    generator = ResumeCorpusGenerator(seed=2024)
+    eval_docs = generator.generate(EVAL_DOCS)
+    train_pool = generator.generate(max(ROUNDS), start_id=500)
+
+    # Baseline: synonyms only.
+    converter = DocumentConverter(kb, ConversionConfig(tagger="synonym"))
+    results = [converter.convert(doc.html) for doc in eval_docs]
+    baseline = sum(r.instance_stats.unidentified for r in results) / sum(
+        r.instance_stats.total for r in results
+    )
+    print(f"synonyms only:            {baseline:.1%} tokens unidentified")
+
+    # Feedback loop: grow the training set, retrain, reconvert.
+    classifier = MultinomialNaiveBayes()
+    labeled_through = 0
+    for budget in ROUNDS:
+        classifier.fit(label_tokens(train_pool[labeled_through:budget]))
+        labeled_through = budget
+        converter = DocumentConverter(
+            kb, ConversionConfig(tagger="hybrid"), bayes=classifier
+        )
+        results = [converter.convert(doc.html) for doc in eval_docs]
+        ratio = sum(r.instance_stats.unidentified for r in results) / sum(
+            r.instance_stats.total for r in results
+        )
+        print(
+            f"hybrid, {budget:3d} docs labeled: {ratio:.1%} tokens unidentified "
+            f"(vocabulary {classifier.vocabulary_size} words, "
+            f"{len(classifier.classes)} classes)"
+        )
+
+
+if __name__ == "__main__":
+    main()

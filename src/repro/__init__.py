@@ -1,0 +1,105 @@
+"""repro -- reproduction of Chung, Gertz & Sundaresan (ICDE 2002),
+"Reverse Engineering for Web Data: From Visual to Semantic Structures".
+
+The library converts topic-specific HTML documents into concept-tagged
+XML documents (document restructuring rules driven by a small knowledge
+base), discovers a *majority schema* over the result, derives a DTD from
+it, and maps non-conforming documents onto that DTD for integration into
+an XML repository.
+
+Quickstart::
+
+    from repro import (
+        build_resume_knowledge_base, DocumentConverter,
+        extract_paths, mine_frequent_paths, MajoritySchema, derive_dtd,
+    )
+
+    kb = build_resume_knowledge_base()
+    converter = DocumentConverter(kb)
+    results = [converter.convert(html) for html in corpus_html]
+
+    docs = [extract_paths(r.root) for r in results]
+    frequent = mine_frequent_paths(docs, sup_threshold=0.4)
+    schema = MajoritySchema.from_frequent_paths(frequent)
+    print(derive_dtd(schema, docs).render())
+
+Subpackages: ``htmlparse`` (from-scratch HTML parser + Tidy-style
+cleanser), ``dom`` (ordered-tree document model), ``concepts`` (domain
+knowledge, synonym matcher, naive Bayes), ``convert`` (the four
+restructuring rules), ``schema`` (frequent paths, majority schema, DTD,
+baselines), ``mapping`` (tree edit distance, conformance, repository),
+``corpus`` (synthetic resume corpus + simulated web/crawler),
+``evaluation`` (the paper's experiments).
+"""
+
+from repro.concepts import (
+    Concept,
+    ConceptInstance,
+    ConceptRole,
+    ConstraintSet,
+    KnowledgeBase,
+    MultinomialNaiveBayes,
+    SynonymMatcher,
+    build_resume_knowledge_base,
+)
+from repro.convert import ConversionConfig, ConversionResult, DocumentConverter
+from repro.corpus import ResumeCorpusGenerator, SimulatedWeb, TopicCrawler
+from repro.dom import Element, Text, to_xml
+from repro.htmlparse import parse_html, tidy
+from repro.mapping import (
+    XMLRepository,
+    conform_document,
+    tree_edit_distance,
+    validate_document,
+)
+from repro.schema import (
+    DTD,
+    MajoritySchema,
+    build_dataguide,
+    build_lower_bound_schema,
+    derive_dtd,
+    extract_paths,
+    mine_frequent_paths,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # knowledge
+    "Concept",
+    "ConceptInstance",
+    "ConceptRole",
+    "ConstraintSet",
+    "KnowledgeBase",
+    "SynonymMatcher",
+    "MultinomialNaiveBayes",
+    "build_resume_knowledge_base",
+    # conversion
+    "DocumentConverter",
+    "ConversionConfig",
+    "ConversionResult",
+    # dom / parsing
+    "Element",
+    "Text",
+    "to_xml",
+    "parse_html",
+    "tidy",
+    # schema discovery
+    "extract_paths",
+    "mine_frequent_paths",
+    "MajoritySchema",
+    "derive_dtd",
+    "DTD",
+    "build_dataguide",
+    "build_lower_bound_schema",
+    # mapping
+    "tree_edit_distance",
+    "validate_document",
+    "conform_document",
+    "XMLRepository",
+    # corpus
+    "ResumeCorpusGenerator",
+    "SimulatedWeb",
+    "TopicCrawler",
+]

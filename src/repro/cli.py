@@ -1,0 +1,282 @@
+"""Command-line interface.
+
+Subcommands mirror the pipeline stages::
+
+    repro-web gen-corpus   --count 50 --out corpus/          # synthesize HTML
+    repro-web html2xml     corpus/*.html --out xml/          # convert
+    repro-web discover     xml/*.xml --sup 0.4               # schema + DTD
+    repro-web evaluate     --docs 50                         # Figure 4 numbers
+    repro-web crawl        --resumes 30 --noise 100          # simulated crawl
+
+(Converted XML is re-loaded with the HTML parser, which accepts the XML
+subset the converter emits.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.concepts.resume_kb import build_resume_knowledge_base
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.crawler import TopicCrawler
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.corpus.web import SimulatedWeb
+from repro.dom.serialize import to_xml_document
+from repro.evaluation.accuracy import evaluate_accuracy
+from repro.evaluation.report import format_histogram, format_table
+from repro.htmlparse.parser import parse_fragment
+from repro.schema.dtd import derive_dtd
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.majority import MajoritySchema
+from repro.schema.paths import extract_paths
+
+
+def _cmd_gen_corpus(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    generator = ResumeCorpusGenerator(seed=args.seed)
+    for doc in generator.generate(args.count):
+        (out / f"resume{doc.doc_id:04d}.html").write_text(doc.html)
+    print(f"wrote {args.count} resumes to {out}/")
+    return 0
+
+
+def _cmd_html2xml(args: argparse.Namespace) -> int:
+    converter = DocumentConverter(build_resume_knowledge_base())
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for name in args.files:
+        source = Path(name)
+        result = converter.convert(source.read_text())
+        target = out / (source.stem + ".xml")
+        target.write_text(result.to_xml())
+        print(
+            f"{source.name}: {result.concept_node_count} concept nodes, "
+            f"{result.instance_stats.unidentified_ratio:.0%} unidentified"
+        )
+    return 0
+
+
+def _load_xml_roots(files: list[str]) -> list:
+    """Parse converted-XML files back into element trees."""
+    from repro.mapping.persistence import load_xml_document
+
+    roots = []
+    for name in files:
+        text = Path(name).read_text()
+        if not parse_fragment(text).element_children():
+            continue
+        roots.append(load_xml_document(text))
+    return roots
+
+
+def _discover_schema(roots, kb, sup: float, ratio: float):
+    documents = [extract_paths(root) for root in roots]
+    frequent = mine_frequent_paths(
+        documents,
+        sup_threshold=sup,
+        ratio_threshold=ratio,
+        constraints=kb.constraints,
+        candidate_labels=kb.concept_tags(),
+    )
+    return MajoritySchema.from_frequent_paths(frequent), documents
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    kb = build_resume_knowledge_base()
+    roots = _load_xml_roots(args.files)
+    if not roots:
+        print("no XML documents parsed", file=sys.stderr)
+        return 1
+    schema, documents = _discover_schema(roots, kb, args.sup, args.ratio)
+    print(schema.describe())
+    print()
+    dtd = derive_dtd(schema, documents)
+    if args.patterns:
+        from repro.schema.patterns import (
+            discover_all_group_patterns,
+            render_dtd_with_patterns,
+        )
+
+        parents = [
+            node.path for node in schema.root.iter_nodes() if node.children
+        ]
+        patterns = discover_all_group_patterns(roots, parents)
+        print(render_dtd_with_patterns(dtd, patterns))
+    else:
+        print(dtd.render())
+    return 0
+
+
+def _cmd_integrate(args: argparse.Namespace) -> int:
+    from repro.mapping.persistence import save_repository
+    from repro.mapping.repository import XMLRepository
+
+    kb = build_resume_knowledge_base()
+    roots = _load_xml_roots(args.files)
+    if not roots:
+        print("no XML documents parsed", file=sys.stderr)
+        return 1
+    schema, documents = _discover_schema(roots, kb, args.sup, args.ratio)
+    dtd = derive_dtd(schema, documents, optional_threshold=args.optional)
+    repository = XMLRepository(dtd)
+    for root in roots:
+        repository.insert(root)
+    target = save_repository(repository, args.out)
+    print(
+        f"integrated {len(repository)} documents into {target}/ "
+        f"({repository.stats.repaired} repaired, "
+        f"{repository.stats.total_repair_operations} repair operations)"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.mapping.persistence import load_repository
+
+    repository = load_repository(args.store)
+    print(f"repository at {args.store}: {len(repository)} documents")
+    stats = repository.stats
+    print(
+        format_table(
+            ["documents", "conforming on arrival", "repaired", "repair ops"],
+            [[stats.documents, stats.conforming_on_arrival, stats.repaired,
+              stats.total_repair_operations]],
+        )
+    )
+    print()
+    print(repository.dtd.render())
+    if args.query:
+        values = repository.values(args.query)
+        print(f"\n{len(values)} values for {args.query!r}:")
+        for value in values[:20]:
+            print(f"  {value}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    kb = build_resume_knowledge_base()
+    converter = DocumentConverter(kb)
+    generator = ResumeCorpusGenerator(seed=args.seed)
+    docs = generator.generate(args.docs)
+    pairs = [(converter.convert(d.html).root, d.ground_truth) for d in docs]
+    report = evaluate_accuracy(pairs)
+    print(
+        format_table(
+            ["metric", "measured", "paper"],
+            [
+                ["avg errors/document", f"{report.avg_errors_per_document:.1f}", "3.9"],
+                [
+                    "avg concept nodes/document",
+                    f"{report.avg_concept_nodes_per_document:.1f}",
+                    "53.7",
+                ],
+                ["avg error %", f"{report.avg_error_percentage:.1f}", "9.2"],
+                ["accuracy %", f"{report.accuracy:.1f}", "90.8"],
+            ],
+            title="Data extraction accuracy (Figure 4)",
+        )
+    )
+    print()
+    print(format_histogram(report.histogram(), title="documents per error band"))
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    web = SimulatedWeb(
+        resume_count=args.resumes, noise_count=args.noise, seed=args.seed
+    )
+    crawler = TopicCrawler(web)
+    report = crawler.crawl()
+    print(
+        format_table(
+            ["visited", "collected", "precision", "recall"],
+            [[report.visited, len(report.collected_urls),
+              f"{report.precision:.2f}", f"{report.recall:.2f}"]],
+            title="Topic crawl over the simulated web",
+        )
+    )
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        converter = DocumentConverter(build_resume_knowledge_base())
+        for resume in report.collected:
+            result = converter.convert(resume.html)
+            (out / f"crawled{resume.doc_id:04d}.xml").write_text(
+                to_xml_document(result.root)
+            )
+        print(f"converted {len(report.collected)} crawled resumes into {out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-web",
+        description="HTML-to-XML conversion and majority-schema discovery "
+        "(ICDE 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen-corpus", help="generate synthetic resume HTML")
+    gen.add_argument("--count", type=int, default=50)
+    gen.add_argument("--seed", type=int, default=1966)
+    gen.add_argument("--out", default="corpus")
+    gen.set_defaults(func=_cmd_gen_corpus)
+
+    conv = sub.add_parser("html2xml", help="convert HTML files to XML")
+    conv.add_argument("files", nargs="+")
+    conv.add_argument("--out", default="xml")
+    conv.set_defaults(func=_cmd_html2xml)
+
+    disc = sub.add_parser("discover", help="discover majority schema + DTD")
+    disc.add_argument("files", nargs="+")
+    disc.add_argument("--sup", type=float, default=0.4)
+    disc.add_argument("--ratio", type=float, default=0.0)
+    disc.add_argument(
+        "--patterns",
+        action="store_true",
+        help="render (e1, e2)+ group patterns in the DTD",
+    )
+    disc.set_defaults(func=_cmd_discover)
+
+    integ = sub.add_parser(
+        "integrate", help="discover a DTD, conform documents, save a repository"
+    )
+    integ.add_argument("files", nargs="+")
+    integ.add_argument("--sup", type=float, default=0.4)
+    integ.add_argument("--ratio", type=float, default=0.0)
+    integ.add_argument("--optional", type=float, default=0.9)
+    integ.add_argument("--out", default="repository")
+    integ.set_defaults(func=_cmd_integrate)
+
+    insp = sub.add_parser("inspect", help="inspect a saved repository")
+    insp.add_argument("store")
+    insp.add_argument("--query", default="", help="slash path to evaluate")
+    insp.set_defaults(func=_cmd_inspect)
+
+    ev = sub.add_parser("evaluate", help="run the Figure 4 accuracy experiment")
+    ev.add_argument("--docs", type=int, default=50)
+    ev.add_argument("--seed", type=int, default=1966)
+    ev.set_defaults(func=_cmd_evaluate)
+
+    crawl = sub.add_parser("crawl", help="crawl the simulated web for resumes")
+    crawl.add_argument("--resumes", type=int, default=30)
+    crawl.add_argument("--noise", type=int, default=100)
+    crawl.add_argument("--seed", type=int, default=7)
+    crawl.add_argument("--out", default="")
+    crawl.set_defaults(func=_cmd_crawl)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Topic-specific domain knowledge (Section 2.2).
+
+The only mandatory user input to the conversion process is a set of
+*topic concepts*, each with *concept instances* (keywords and text
+patterns); *concept constraints* are optional and speed up schema
+discovery (Section 4.2).
+
+* :mod:`repro.concepts.concept` -- :class:`Concept`/:class:`ConceptInstance`.
+* :mod:`repro.concepts.constraints` -- parent/sibling/depth constraints.
+* :mod:`repro.concepts.knowledge` -- the :class:`KnowledgeBase` container.
+* :mod:`repro.concepts.resume_kb` -- the paper's resume domain: 24
+  concepts, 233 instances, 11 title / 13 content names.
+* :mod:`repro.concepts.matcher` -- synonym-based instance identification.
+* :mod:`repro.concepts.bayes` -- the multinomial naive-Bayes classifier
+  alternative ([12] in the paper).
+"""
+
+from repro.concepts.bayes import MultinomialNaiveBayes
+from repro.concepts.concept import Concept, ConceptInstance, ConceptRole
+from repro.concepts.discovery import (
+    InstanceProposal,
+    augment_knowledge_base,
+    propose_instances,
+)
+from repro.concepts.constraints import (
+    ConstraintSet,
+    DepthConstraint,
+    ParentConstraint,
+    SiblingConstraint,
+)
+from repro.concepts.knowledge import KnowledgeBase
+from repro.concepts.matcher import InstanceMatch, SynonymMatcher
+from repro.concepts.resume_kb import build_resume_knowledge_base
+
+__all__ = [
+    "Concept",
+    "ConceptInstance",
+    "ConceptRole",
+    "ConstraintSet",
+    "ParentConstraint",
+    "SiblingConstraint",
+    "DepthConstraint",
+    "KnowledgeBase",
+    "SynonymMatcher",
+    "InstanceMatch",
+    "MultinomialNaiveBayes",
+    "build_resume_knowledge_base",
+    "InstanceProposal",
+    "propose_instances",
+    "augment_knowledge_base",
+]

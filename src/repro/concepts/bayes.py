@@ -1,0 +1,145 @@
+"""Multinomial naive-Bayes token classifier (Section 2.3.1, way 2).
+
+"For Bayes classifier, the user gives examples on how to associate tokens
+with concept instances by labeling some input HTML documents.  Based on
+these examples, the Bayes classifier computes the statistics of
+associating words in the token with concept instances.  Given a new
+resume document, the classifier classifies each token as a concept
+instance with the highest probability."
+
+Implemented from scratch: Laplace-smoothed multinomial model over the
+word features of :mod:`repro.concepts.textutil`, with an explicit
+``unknown`` outcome -- the paper relies on tokens "classified as
+'unknown'" as user feedback (Section 2.3.1), so the classifier abstains
+when the winning log-odds margin is below ``margin_threshold`` or when no
+training word is present in the token at all.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Iterable, Optional, Sequence
+
+from repro.concepts.textutil import normalized_words
+
+
+class MultinomialNaiveBayes:
+    """Laplace-smoothed multinomial naive Bayes over token words."""
+
+    def __init__(self, *, alpha: float = 1.0, margin_threshold: float = 0.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.margin_threshold = margin_threshold
+        self._word_counts: dict[str, Counter[str]] = defaultdict(Counter)
+        self._class_word_totals: Counter[str] = Counter()
+        self._class_doc_counts: Counter[str] = Counter()
+        self._vocabulary: set[str] = set()
+        self._total_docs = 0
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, examples: Iterable[tuple[str, str]]) -> "MultinomialNaiveBayes":
+        """Train on ``(token_text, concept_tag)`` pairs.
+
+        May be called repeatedly; counts accumulate (online training, the
+        feedback loop of Section 2.3.1).
+        """
+        for text, label in examples:
+            self.add_example(text, label)
+        return self
+
+    def add_example(self, text: str, label: str) -> None:
+        """Add one labeled token."""
+        words = normalized_words(text)
+        if not words:
+            return
+        counts = self._word_counts[label]
+        for word in words:
+            counts[word] += 1
+            self._vocabulary.add(word)
+        self._class_word_totals[label] += len(words)
+        self._class_doc_counts[label] += 1
+        self._total_docs += 1
+
+    @property
+    def classes(self) -> list[str]:
+        """Labels seen during training, sorted."""
+        return sorted(self._class_doc_counts)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct training words."""
+        return len(self._vocabulary)
+
+    def is_trained(self) -> bool:
+        """True once at least one example has been absorbed."""
+        return self._total_docs > 0
+
+    # -- inference ----------------------------------------------------------
+
+    def log_posteriors(self, text: str) -> dict[str, float]:
+        """Unnormalized log posterior per class for ``text``."""
+        if not self.is_trained():
+            raise RuntimeError("classifier has not been trained")
+        words = normalized_words(text)
+        vocab = len(self._vocabulary) or 1
+        scores: dict[str, float] = {}
+        for label in self._class_doc_counts:
+            prior = math.log(self._class_doc_counts[label] / self._total_docs)
+            denom = self._class_word_totals[label] + self.alpha * vocab
+            likelihood = sum(
+                math.log((self._word_counts[label][word] + self.alpha) / denom)
+                for word in words
+            )
+            scores[label] = prior + likelihood
+        return scores
+
+    def predict(self, text: str) -> tuple[Optional[str], float]:
+        """Best label and its winning margin (nats) for ``text``.
+
+        Returns ``(None, 0.0)`` when the classifier abstains: the token
+        shares no word with the training data, or the margin between the
+        best and second-best class is below ``margin_threshold``.
+        """
+        words = normalized_words(text)
+        if not words or not any(word in self._vocabulary for word in words):
+            return None, 0.0
+        scores = self.log_posteriors(text)
+        ranked = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
+        best_label, best_score = ranked[0]
+        margin = best_score - ranked[1][1] if len(ranked) > 1 else math.inf
+        if margin < self.margin_threshold:
+            return None, margin
+        return best_label, margin
+
+    def classify(self, text: str) -> Optional[str]:
+        """The concept tag for ``text``, or ``None`` (token "unknown").
+
+        Interchangeable with
+        :meth:`repro.concepts.matcher.SynonymMatcher.classify`.
+        """
+        label, _margin = self.predict(text)
+        return label
+
+    # -- diagnostics --------------------------------------------------------
+
+    def evaluate(self, examples: Sequence[tuple[str, str]]) -> float:
+        """Accuracy over labeled tokens, abstentions counted as errors."""
+        if not examples:
+            return 0.0
+        correct = sum(1 for text, label in examples if self.classify(text) == label)
+        return correct / len(examples)
+
+    def unknown_ratio(self, texts: Sequence[str]) -> float:
+        """Fraction of tokens on which the classifier abstains.
+
+        The paper suggests using "the ratio between identified and
+        unidentifiable tokens ... as a feedback to the user" who then adds
+        training data (Section 2.3.1).
+        """
+        if not texts:
+            return 0.0
+        unknown = sum(1 for text in texts if self.classify(text) is None)
+        return unknown / len(texts)

@@ -1,0 +1,130 @@
+"""A product-catalog knowledge base -- the paper's "broader topic".
+
+Section 5: "the goal ... is to build XML repositories capturing linked
+HTML documents pertaining to broader topics such as product catalogs or
+University Web sites."  This module supplies the domain knowledge for
+the product-catalog topic used by :mod:`repro.corpus.catalog` and the
+cross-topic experiment (E12): the framework itself is unchanged -- only
+this knowledge base differs from the resume setup, which is precisely
+the paper's portability claim.
+"""
+
+from __future__ import annotations
+
+from repro.concepts.concept import Concept, ConceptInstance, ConceptRole
+from repro.concepts.constraints import ConstraintSet
+from repro.concepts.knowledge import KnowledgeBase
+
+_PRICE_PATTERNS = [
+    r"\$\s?\d{1,6}(,\d{3})*(\.\d{2})?",
+    r"\b\d+\.\d{2}\s?(USD|dollars)\b",
+]
+
+_SKU_PATTERNS = [
+    r"\b[A-Z]{2,4}-\d{3,6}\b",
+    r"\bmodel\s+no\.?\s*[A-Z0-9-]+\b",
+    r"\bpart\s*#\s*[A-Z0-9-]+\b",
+]
+
+_WEIGHT_PATTERNS = [
+    r"\b\d+(\.\d+)?\s?(lbs?|pounds|kg|kilograms|oz|ounces|g|grams)\b",
+]
+
+_WARRANTY_PATTERNS = [
+    r"\b\d+[\s-]?(year|month|day)s?\s+(limited\s+)?warranty\b",
+]
+
+
+def _concept(name, role, keywords, patterns=None, description=""):
+    instances = [ConceptInstance(k) for k in keywords]
+    for pattern in patterns or ():
+        instances.append(ConceptInstance(pattern, is_regex=True))
+    return Concept(name, instances, role=role, description=description)
+
+
+def build_catalog_knowledge_base() -> KnowledgeBase:
+    """The product-catalog domain: 12 concepts, 4 title / 8 content."""
+    title = ConceptRole.TITLE
+    content = ConceptRole.CONTENT
+
+    concepts = [
+        # ----- title concepts (catalog page sections) -----
+        _concept(
+            "catalog", title,
+            ["product catalog", "catalogue", "our products", "product listing",
+             "price list"],
+            description="The catalog page root / title.",
+        ),
+        _concept(
+            "product", title,
+            ["item", "product details"],
+            description="One product entry.",
+        ),
+        _concept(
+            "specifications", title,
+            ["specs", "technical specifications", "technical data",
+             "product specifications", "features"],
+            description="Specification block of a product.",
+        ),
+        _concept(
+            "ordering", title,
+            ["how to order", "order information", "ordering information",
+             "shipping", "shipping information"],
+            description="Ordering / shipping information section.",
+        ),
+        # ----- content concepts -----
+        _concept(
+            "price", content,
+            ["msrp", "retail price", "sale price", "our price"],
+            _PRICE_PATTERNS,
+            description="Prices.",
+        ),
+        _concept(
+            "sku", content,
+            ["item number", "catalog number", "model number"],
+            _SKU_PATTERNS,
+            description="Stock-keeping identifiers.",
+        ),
+        _concept(
+            "manufacturer", content,
+            ["made by", "brand", "manufactured by", "inc.", "corp.",
+             "company", "industries"],
+            description="Manufacturer / brand.",
+        ),
+        _concept(
+            "category", content,
+            ["electronics", "appliances", "hardware", "furniture", "tools",
+             "office supplies", "sporting goods", "garden"],
+            description="Product category names.",
+        ),
+        _concept(
+            "availability", content,
+            ["in stock", "out of stock", "backordered", "ships in",
+             "available", "discontinued", "pre-order"],
+            description="Stock status phrases.",
+        ),
+        _concept(
+            "weight", content,
+            ["shipping weight"],
+            _WEIGHT_PATTERNS,
+            description="Weights.",
+        ),
+        _concept(
+            "warranty", content,
+            ["guarantee", "money-back"],
+            _WARRANTY_PATTERNS,
+            description="Warranty statements.",
+        ),
+        _concept(
+            "color", content,
+            ["black", "white", "silver", "red", "blue", "green", "beige",
+             "gray", "brown"],
+            description="Color options.",
+        ),
+    ]
+
+    constraints = ConstraintSet(no_repeat_on_path=True, max_depth=4)
+    for concept in concepts:
+        if concept.role is ConceptRole.TITLE and concept.name == "catalog":
+            constraints.add_depth(concept.tag, "=", 1)
+    return KnowledgeBase("catalog", concepts, constraints)

@@ -1,0 +1,112 @@
+"""Concepts and concept instances (Section 2.2).
+
+A *concept* names a kind of information object in the topic domain and
+supplies the element name used in the output XML.  Each concept carries a
+set of *concept instances*: "text patterns and keywords as they might
+occur in topic specific HTML documents", always including the concept's
+own name.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class ConceptRole(enum.Enum):
+    """Role split used by the paper's constraint experiment (Section 4.2).
+
+    *Title names* "are likely to be the title of a resume, and hence can
+    only occur as first level nodes"; *content names* can only occur at
+    depth greater than one.
+    """
+
+    TITLE = "title"
+    CONTENT = "content"
+
+
+@dataclass(frozen=True)
+class ConceptInstance:
+    """One keyword or text pattern identifying a concept.
+
+    ``pattern`` is either a plain keyword (matched case-insensitively on
+    word boundaries) or, when ``is_regex`` is true, a regular expression
+    matched case-insensitively anywhere in the token.  Regex instances
+    model measurement-type instances such as dates or GPA strings that no
+    keyword list could enumerate.
+    """
+
+    pattern: str
+    is_regex: bool = False
+
+    def compile(self) -> re.Pattern[str]:
+        """The compiled matcher for this instance."""
+        if self.is_regex:
+            return re.compile(self.pattern, re.IGNORECASE)
+        escaped = re.escape(self.pattern)
+        # Word-boundary semantics that tolerate the pattern itself
+        # starting/ending with punctuation (e.g. "C++").
+        prefix = r"(?<![A-Za-z0-9])" if self.pattern[:1].isalnum() else ""
+        suffix = r"(?![A-Za-z0-9])" if self.pattern[-1:].isalnum() else ""
+        return re.compile(prefix + escaped + suffix, re.IGNORECASE)
+
+
+@dataclass
+class Concept:
+    """A named concept with its instances.
+
+    ``name`` doubles as the XML element tag (upper-cased at tagging time
+    to distinguish recovered concept elements from residual HTML markup).
+    """
+
+    name: str
+    instances: list[ConceptInstance] = field(default_factory=list)
+    role: ConceptRole = ConceptRole.CONTENT
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not re.match(r"^[A-Za-z][A-Za-z0-9_-]*$", self.name):
+            raise ValueError(f"invalid concept name: {self.name!r}")
+        # Section 2.2: the instance set "also includes the name of the
+        # concept" -- add it unless the caller already did.
+        if not any(
+            not inst.is_regex and inst.pattern.lower() == self.name.lower()
+            for inst in self.instances
+        ):
+            self.instances.insert(0, ConceptInstance(self.name))
+
+    @property
+    def tag(self) -> str:
+        """The element name this concept contributes to XML output."""
+        return self.name.upper()
+
+    def add_keyword(self, keyword: str) -> None:
+        """Register an additional keyword instance."""
+        self.instances.append(ConceptInstance(keyword))
+
+    def add_pattern(self, regex: str) -> None:
+        """Register an additional regex instance."""
+        self.instances.append(ConceptInstance(regex, is_regex=True))
+
+    def iter_instances(self) -> Iterator[ConceptInstance]:
+        """All instances, concept-name instance first."""
+        return iter(self.instances)
+
+    def instance_count(self) -> int:
+        """Number of instances (the concept-name instance included)."""
+        return len(self.instances)
+
+    def first_match(self, text: str) -> Optional[re.Match[str]]:
+        """Leftmost match of any instance in ``text``, or ``None``."""
+        best: Optional[re.Match[str]] = None
+        for instance in self.instances:
+            found = instance.compile().search(text)
+            if found and (
+                best is None
+                or found.start() < best.start()
+                or (found.start() == best.start() and found.end() > best.end())
+            ):
+                best = found
+        return best

@@ -1,0 +1,92 @@
+"""Synonym-based concept instance identification (Section 2.3.1, way 1).
+
+"It is simply checked whether for a concept instance a match (synonym)
+can be found in the token."  The matcher reports *all* instance matches
+with their positions so the instance rule can split tokens that contain
+several instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concepts.knowledge import KnowledgeBase
+
+
+@dataclass(frozen=True)
+class InstanceMatch:
+    """One instance occurrence inside a token's text.
+
+    ``start``/``end`` delimit the matched substring; ``specificity`` is
+    the match length, used to rank overlapping matches (longer keyword
+    wins: "bachelor of science" over "science").
+    """
+
+    concept_tag: str
+    start: int
+    end: int
+    matched_text: str
+
+    @property
+    def specificity(self) -> int:
+        return self.end - self.start
+
+
+class SynonymMatcher:
+    """Finds concept instances in token text by keyword/pattern matching."""
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        self.kb = kb
+        # Pre-compile every instance once.
+        self._compiled = [
+            (concept.tag, instance.compile())
+            for concept in kb
+            for instance in concept.iter_instances()
+        ]
+
+    def find_all(self, text: str) -> list[InstanceMatch]:
+        """Every instance match in ``text``, in document order.
+
+        Overlapping matches are resolved greedily: matches are considered
+        in order of (earlier start, longer match), and a match is kept
+        only when it does not overlap an already-kept one.  This yields a
+        deterministic, non-overlapping cover of the token.
+        """
+        raw: list[InstanceMatch] = []
+        for tag, pattern in self._compiled:
+            for found in pattern.finditer(text):
+                if found.start() == found.end():
+                    continue
+                raw.append(
+                    InstanceMatch(tag, found.start(), found.end(), found.group(0))
+                )
+        raw.sort(key=lambda m: (m.start, -m.specificity, m.concept_tag))
+        kept: list[InstanceMatch] = []
+        last_end = -1
+        for match in raw:
+            if match.start >= last_end:
+                kept.append(match)
+                last_end = match.end
+        return kept
+
+    def find_best(self, text: str) -> InstanceMatch | None:
+        """The single best match for a token, or ``None``.
+
+        "Best" is the longest match; ties break on earlier position.  The
+        instance rule uses this when exactly one concept should label the
+        whole token.
+        """
+        matches = self.find_all(text)
+        if not matches:
+            return None
+        return max(matches, key=lambda m: (m.specificity, -m.start))
+
+    def classify(self, text: str) -> str | None:
+        """The concept tag for ``text``, or ``None`` when unidentified.
+
+        This is the matcher's face to the instance rule; it is
+        interchangeable with
+        :meth:`repro.concepts.bayes.MultinomialNaiveBayes.classify`.
+        """
+        best = self.find_best(text)
+        return best.concept_tag if best else None

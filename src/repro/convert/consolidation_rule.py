@@ -1,0 +1,124 @@
+"""The consolidation rule (Section 2.3.2, structure rule 2).
+
+The final, bottom-up rule.  It eliminates every remaining non-concept
+node (residual HTML markup and temporary ``GROUP`` nodes), exploiting the
+observation that "often the first object in such a group of semantically
+related objects describes the concept of this group":
+
+* a childless non-concept node is deleted;
+* a non-concept node whose tag is a *list tag*, or whose children all
+  carry the same element name, is replaced by its children (the sibling
+  relationship is preserved by "pushing up" the children);
+* otherwise the node is replaced by its first concept child, and the
+  remaining children become that child's children (Figure 1).
+
+Accumulated ``val`` text on an eliminated node is never dropped: it moves
+to the node's replacement (first concept child) or to its parent.
+"""
+
+from __future__ import annotations
+
+from repro.concepts.knowledge import KnowledgeBase
+from repro.convert.config import ConversionConfig
+from repro.convert.grouping_rule import GROUP_TAG
+from repro.dom.node import Element, Node
+from repro.dom.treeops import iter_postorder
+
+
+def is_concept_node(node: Node, concept_tags: frozenset[str] | set[str]) -> bool:
+    """True when ``node`` is an element already related to a concept."""
+    return isinstance(node, Element) and node.tag in concept_tags
+
+
+def apply_consolidation_rule(
+    root: Element,
+    kb: KnowledgeBase,
+    config: ConversionConfig | None = None,
+) -> int:
+    """Consolidate the tree under ``root`` (the root itself is kept).
+
+    Returns the number of nodes eliminated.  After this rule, every
+    element strictly below ``root`` carries a concept name.
+    """
+    config = config or ConversionConfig()
+    concept_tags = {concept.tag for concept in kb}
+    eliminated = 0
+    for node in list(iter_postorder(root)):
+        if node is root or not isinstance(node, Element) or node.parent is None:
+            continue
+        if node.tag in concept_tags:
+            continue
+        _eliminate(node, concept_tags, config)
+        eliminated += 1
+    return eliminated
+
+
+def _children_push_up(node: Element, config: ConversionConfig) -> bool:
+    """Whether ``node``'s children stay siblings when ``node`` goes away."""
+    if node.tag.lower() in config.list_tags:
+        return True
+    element_children = node.element_children()
+    if len(element_children) >= 2 and len(element_children) == len(node.children):
+        first_tag = element_children[0].tag
+        return all(child.tag == first_tag for child in element_children)
+    return False
+
+
+def _eliminate(
+    node: Element,
+    concept_tags: set[str],
+    config: ConversionConfig,
+) -> None:
+    parent = node.parent
+    assert parent is not None
+
+    if not node.children:
+        # Childless markup carries no structure; its text (if any) must
+        # survive on the parent.
+        parent.append_val(node.get_val())
+        node.detach()
+        return
+
+    children = list(node.children)
+    if _children_push_up(node, config):
+        parent.append_val(node.get_val())
+        node.replace_with(*children)
+        return
+
+    first_concept = next(
+        (child for child in children if is_concept_node(child, concept_tags)),
+        None,
+    )
+    if first_concept is None:
+        # No concept child to take over: preserve the siblings.
+        parent.append_val(node.get_val())
+        node.replace_with(*children)
+        return
+
+    # The first concept child replaces the node; its former siblings
+    # become its children (Figure 1).
+    assert isinstance(first_concept, Element)
+    first_concept.append_val(node.get_val())
+    rest = [child for child in children if child is not first_concept]
+    node.replace_with(first_concept)
+    for sibling in rest:
+        first_concept.append_child(sibling)
+
+
+def residual_markup_tags(root: Element, kb: KnowledgeBase) -> set[str]:
+    """Tags below ``root`` that are neither concepts nor ``GROUP``.
+
+    Diagnostic helper: after consolidation this must be empty for every
+    node except the root.
+    """
+    concept_tags = {concept.tag for concept in kb}
+    residual: set[str] = set()
+    for node in iter_postorder(root):
+        if (
+            isinstance(node, Element)
+            and node is not root
+            and node.tag not in concept_tags
+            and node.tag != GROUP_TAG
+        ):
+            residual.add(node.tag)
+    return residual

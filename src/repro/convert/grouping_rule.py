@@ -1,0 +1,94 @@
+"""The grouping rule (Section 2.3.2, structure rule 1).
+
+"Given sibling nodes N1,...,Nk in the document tree that all have the
+same markup tag.  Then all sibling nodes S1,...,Sn that occur between Ni
+and Ni+1 are grouped under a new node with the (temporary) label GROUP,
+and this node becomes a child of node Ni.  All sibling nodes right to Nk
+are grouped in the same way."
+
+Weights on group tags order the work at each level ("grouping right
+siblings of nodes marked with h1 has a higher priority than grouping
+right siblings of nodes marked with p at the same level"); because each
+group sinks below its leader, lower-priority tags are handled when the
+rule reaches the next level down -- the rule operates top-down.
+"""
+
+from __future__ import annotations
+
+from repro.convert.config import ConversionConfig
+from repro.dom.node import Element, Node
+
+GROUP_TAG = "GROUP"
+
+
+def apply_grouping_rule(root: Element, config: ConversionConfig | None = None) -> int:
+    """Apply the grouping rule top-down under ``root``.
+
+    Returns the number of ``GROUP`` nodes created.  Newly created groups
+    are themselves visited (their contents may contain lower-priority
+    group tags), so repeated markup at every level of abstraction sinks
+    into a logical nesting.
+    """
+    config = config or ConversionConfig()
+    created = 0
+    queue: list[Element] = [root]
+    while queue:
+        element = queue.pop(0)
+        created += _group_children(element, config)
+        queue.extend(element.element_children())
+    return created
+
+
+def _leader_tag(element: Element, config: ConversionConfig) -> str | None:
+    """The highest-weight group tag occurring >= 2 times among children.
+
+    A single occurrence gives no evidence of sectioning, so it never
+    drives grouping -- this keeps e.g. a lone ``<p>`` from swallowing the
+    rest of the document.
+    """
+    counts: dict[str, int] = {}
+    for child in element.element_children():
+        if child.tag in config.group_tag_weights:
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+    candidates = [
+        tag for tag, count in counts.items() if count >= config.min_group_leaders
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda tag: config.group_tag_weights[tag])
+
+
+def _group_children(element: Element, config: ConversionConfig) -> int:
+    tag = _leader_tag(element, config)
+    if tag is None:
+        return 0
+    created = 0
+    children = list(element.children)
+    leaders = [
+        child for child in children if isinstance(child, Element) and child.tag == tag
+    ]
+    # Partition the siblings after each leader (up to the next leader).
+    leader_ids = {id(leader) for leader in leaders}
+    current_leader: Element | None = None
+    buckets: dict[int, list[Node]] = {id(leader): [] for leader in leaders}
+    for child in children:
+        if id(child) in leader_ids:
+            current_leader = child  # type: ignore[assignment]
+        elif current_leader is not None:
+            buckets[id(current_leader)].append(child)
+        # Siblings left of the first leader stay where they are.
+    for leader in leaders:
+        members = buckets[id(leader)]
+        if not members:
+            continue
+        group = Element(GROUP_TAG)
+        for member in members:
+            group.append_child(member)
+        leader.append_child(group)
+        created += 1
+    return created
+
+
+def is_group(node: Node) -> bool:
+    """True for temporary ``GROUP`` nodes."""
+    return isinstance(node, Element) and node.tag == GROUP_TAG

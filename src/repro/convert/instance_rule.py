@@ -1,0 +1,219 @@
+"""The concept instance rule (Section 2.3.1, text rule 2).
+
+For each ``<TOKEN>`` produced by the tokenization rule:
+
+* **Case 1** -- an instance is identified: the token is replaced by
+  ``<C val="text"/>`` where ``C`` is the concept's element name.  When
+  *several* instances are found in one token (delimiters were missing or
+  inconsistent), the token is decomposed: each identified instance claims
+  the text from its position up to the next instance's position, and the
+  text before the first instance is passed to the parent's ``val``.
+  Sibling constraints, when available, veto decompositions that would put
+  forbidden concept pairs next to each other.
+* **Case 2** -- no instance is identified: the token node is deleted and
+  its text is passed to the parent's ``val`` ("child nodes detail
+  information represented by parent nodes at a lower level of
+  abstraction"; no text is ever lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.concepts.bayes import MultinomialNaiveBayes
+from repro.concepts.knowledge import KnowledgeBase
+from repro.concepts.matcher import InstanceMatch, SynonymMatcher
+from repro.convert.config import ConversionConfig
+from repro.convert.tokenize_rule import TOKEN_TAG, token_text
+from repro.dom.node import Element
+from repro.dom.treeops import iter_preorder
+
+
+@dataclass
+class InstanceRuleStats:
+    """Bookkeeping for the user-feedback loop of Section 2.3.1.
+
+    ``identified``/``unidentified`` count tokens; their ratio is the
+    signal the paper suggests showing the user ("provide more training
+    data ... or associate more concept instances with concepts").
+    """
+
+    identified: int = 0
+    unidentified: int = 0
+    split_tokens: int = 0
+    elements_created: int = 0
+    by_concept: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.identified + self.unidentified
+
+    @property
+    def unidentified_ratio(self) -> float:
+        """Fraction of tokens no concept instance was found in."""
+        return self.unidentified / self.total if self.total else 0.0
+
+    def _count(self, tag: str) -> None:
+        self.by_concept[tag] = self.by_concept.get(tag, 0) + 1
+
+
+def apply_instance_rule(
+    root: Element,
+    kb: KnowledgeBase,
+    config: ConversionConfig | None = None,
+    *,
+    matcher: SynonymMatcher | None = None,
+    bayes: MultinomialNaiveBayes | None = None,
+) -> InstanceRuleStats:
+    """Resolve every ``<TOKEN>`` under ``root`` into concept elements.
+
+    ``matcher`` defaults to a fresh :class:`SynonymMatcher` over ``kb``.
+    With ``config.tagger`` in ``("bayes", "hybrid")`` a trained ``bayes``
+    classifier must be supplied.
+    """
+    config = config or ConversionConfig()
+    if config.tagger in ("bayes", "hybrid") and (bayes is None or not bayes.is_trained()):
+        raise ValueError(f"tagger {config.tagger!r} requires a trained Bayes classifier")
+    if matcher is None:
+        matcher = SynonymMatcher(kb)
+    stats = InstanceRuleStats()
+    for node in list(iter_preorder(root)):
+        if isinstance(node, Element) and node.tag == TOKEN_TAG and node.parent is not None:
+            _resolve_token(node, kb, config, matcher, bayes, stats)
+    return stats
+
+
+def _resolve_token(
+    token: Element,
+    kb: KnowledgeBase,
+    config: ConversionConfig,
+    matcher: SynonymMatcher,
+    bayes: MultinomialNaiveBayes | None,
+    stats: InstanceRuleStats,
+) -> None:
+    parent = token.parent
+    assert parent is not None
+    text = token_text(token)
+    if len(text) < config.min_token_length:
+        parent.append_val(text)
+        token.detach()
+        return
+
+    matches: list[InstanceMatch] = []
+    if config.tagger in ("synonym", "hybrid"):
+        matches = matcher.find_all(text)
+    if not matches and config.tagger in ("bayes", "hybrid") and bayes is not None:
+        label = bayes.classify(text)
+        if label is not None:
+            _emit_single(token, label, text, stats)
+            return
+
+    if not matches:
+        # Case 2: unidentified -- text passes to the parent.
+        parent.append_val(text)
+        token.detach()
+        stats.unidentified += 1
+        return
+
+    if len(matches) == 1 or not config.split_multi_instance_tokens:
+        best = max(matches, key=lambda m: (m.specificity, -m.start))
+        _emit_single(token, best.concept_tag, text, stats)
+        return
+
+    _emit_split(token, matches, text, kb, config, stats)
+
+
+def _emit_single(token: Element, tag: str, text: str, stats: InstanceRuleStats) -> None:
+    element = Element(tag)
+    element.set_val(text)
+    token.replace_with(element)
+    stats.identified += 1
+    stats.elements_created += 1
+    stats._count(tag)
+
+
+def _merge_connected(
+    matches: list[InstanceMatch], text: str, config: ConversionConfig
+) -> list[InstanceMatch]:
+    """Merge consecutive matches joined only by connector words.
+
+    "University of California at Davis" yields instance matches for
+    ``University`` (institution), ``California`` and ``Davis`` (location);
+    the gaps are pure connectors, so the whole phrase is one named entity
+    and is claimed by the leftmost match's concept.
+    """
+    if not config.merge_connectors or len(matches) < 2:
+        return matches
+    merged = [matches[0]]
+    for match in matches[1:]:
+        gap = text[merged[-1].end : match.start]
+        gap_words = gap.replace(",", " ").split()
+        if gap_words and all(
+            word.lower() in config.merge_connectors for word in gap_words
+        ):
+            previous = merged[-1]
+            merged[-1] = InstanceMatch(
+                previous.concept_tag,
+                previous.start,
+                match.end,
+                text[previous.start : match.end],
+            )
+        else:
+            merged.append(match)
+    return merged
+
+
+def _emit_split(
+    token: Element,
+    matches: list[InstanceMatch],
+    text: str,
+    kb: KnowledgeBase,
+    config: ConversionConfig,
+    stats: InstanceRuleStats,
+) -> None:
+    """Case 1 with several instances: decompose the token.
+
+    Consecutive matches whose concepts may not be siblings (per the
+    constraint set) are reduced by dropping the less specific match, so
+    its text stays attached to the surviving neighbour -- this is the
+    "concept constraints describing typical sibling relationships can be
+    employed in order to determine a proper decomposition" refinement.
+    """
+    parent = token.parent
+    assert parent is not None
+    matches = _merge_connected(matches, text, config)
+    kept: list[InstanceMatch] = []
+    for match in matches:
+        if (
+            config.use_sibling_constraints
+            and kept
+            and not kb.constraints.allows_sibling_pair(
+                kept[-1].concept_tag, match.concept_tag
+            )
+        ):
+            if match.specificity > kept[-1].specificity:
+                kept[-1] = match
+            continue
+        kept.append(match)
+
+    if len(kept) == 1:
+        _emit_single(token, kept[0].concept_tag, text, stats)
+        return
+
+    # Text before the first identified instance goes to the parent.
+    prefix = text[: kept[0].start].strip()
+    if prefix:
+        parent.append_val(prefix)
+
+    elements: list[Element] = []
+    for i, match in enumerate(kept):
+        end = kept[i + 1].start if i + 1 < len(kept) else len(text)
+        segment = text[match.start : end].strip()
+        element = Element(match.concept_tag)
+        element.set_val(segment)
+        elements.append(element)
+        stats.elements_created += 1
+        stats._count(match.concept_tag)
+    token.replace_with(*elements)
+    stats.identified += 1
+    stats.split_tokens += 1

@@ -1,0 +1,77 @@
+"""The tokenization rule (Section 2.3.1, text rule 1).
+
+"A tokenization rule takes an HTML text node and replaces it by n >= 1
+token nodes of the pattern ``<TOKEN>text</TOKEN>``."  Topic sentences are
+split at punctuation delimiters (``;``, ``,``, ``:`` by default); the
+resulting token nodes are later consumed by the concept instance rule.
+"""
+
+from __future__ import annotations
+
+from repro.concepts.textutil import squeeze_whitespace
+from repro.convert.config import ConversionConfig
+from repro.dom.node import Element, Text
+from repro.dom.treeops import iter_preorder
+
+TOKEN_TAG = "TOKEN"
+
+
+def split_topic_sentence(text: str, delimiters: tuple[str, ...]) -> list[str]:
+    """Split a topic sentence into token texts at delimiter characters.
+
+    Delimiters inside numbers are protected: the comma in ``10,000`` and
+    the colon in ``10:30`` do not separate information components, and
+    naive splitting there would shred dates and GPAs.  Empty fragments are
+    dropped; whitespace is squeezed.
+    """
+    delimiter_set = set(delimiters)
+    pieces: list[str] = []
+    current: list[str] = []
+    for index, char in enumerate(text):
+        if char in delimiter_set:
+            prev_char = text[index - 1] if index > 0 else ""
+            next_char = text[index + 1] if index + 1 < len(text) else ""
+            if prev_char.isdigit() and next_char.isdigit():
+                current.append(char)
+                continue
+            if char == ":" and text[index + 1 : index + 3] == "//":
+                # URL scheme separator ("http://..."), not a delimiter.
+                current.append(char)
+                continue
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    pieces.append("".join(current))
+    tokens = [squeeze_whitespace(piece) for piece in pieces]
+    return [token for token in tokens if token]
+
+
+def apply_tokenization_rule(
+    root: Element, config: ConversionConfig | None = None
+) -> int:
+    """Replace every text node under ``root`` by ``<TOKEN>`` elements.
+
+    Operates top-down over the whole tree; returns the number of token
+    nodes created.  A text node yielding no tokens (pure punctuation or
+    whitespace) is simply removed.
+    """
+    config = config or ConversionConfig()
+    created = 0
+    for node in list(iter_preorder(root)):
+        if not isinstance(node, Text) or node.parent is None:
+            continue
+        tokens = split_topic_sentence(node.text, config.delimiters)
+        replacements = []
+        for token_text in tokens:
+            token = Element(TOKEN_TAG)
+            token.append_child(Text(token_text))
+            replacements.append(token)
+        node.replace_with(*replacements)
+        created += len(replacements)
+    return created
+
+
+def token_text(token: Element) -> str:
+    """The text carried by a ``<TOKEN>`` element."""
+    return token.inner_text()

@@ -1,0 +1,325 @@
+"""A synthetic product-catalog corpus -- the "broader topic" of Section 5.
+
+Same contract as the resume corpus: one logical data model rendered
+through several visual idioms, with the ground-truth concept tree
+attached to every document.  Everything downstream (rules, discovery,
+mapping) is reused unchanged with the catalog knowledge base -- that is
+the point of experiment E12.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dom.node import Element
+
+# ---------------------------------------------------------------------------
+# vocabulary
+
+PRODUCT_ADJECTIVES = (
+    "Turbo", "Ultra", "Pro", "Compact", "Deluxe", "Classic", "Power",
+    "Smart", "Rapid", "Prime",
+)
+PRODUCT_NOUNS = (
+    "Blender", "Toaster", "Drill", "Keyboard", "Monitor", "Lamp",
+    "Heater", "Mixer", "Router", "Scanner", "Chair", "Desk",
+)
+MANUFACTURERS = (
+    "Acme Industries", "Globex Corp.", "Initech Inc.", "Umbrella Company",
+    "Stark Industries", "Wayne Industries", "Tyrell Corp.", "Cyberdyne Inc.",
+)
+CATEGORIES = (
+    "Electronics", "Appliances", "Hardware", "Furniture", "Tools",
+    "Office Supplies",
+)
+AVAILABILITY = (
+    "In stock", "Out of stock", "Ships in 2-3 weeks", "Backordered",
+    "Available", "Pre-order",
+)
+COLORS = ("Black", "White", "Silver", "Red", "Blue", "Gray", "Beige")
+STORES = (
+    "Midtown Hardware", "ValueMart Direct", "The Gadget Shed",
+    "Office Depot Annex", "HomeTools Warehouse",
+)
+ORDERING_TEXT = (
+    "Call 1-800-555-0199 to place your order",
+    "Orders placed before noon are processed the same day",
+    "We accept all major credit cards and purchase orders",
+)
+
+CATALOG_HEADINGS = ("Product Catalog", "Our Products", "Price List")
+ORDERING_HEADINGS = ("How to Order", "Ordering Information", "Shipping Information")
+
+
+# ---------------------------------------------------------------------------
+# data model
+
+
+@dataclass
+class ProductData:
+    """One product's logical content."""
+
+    name: str
+    sku: str
+    price: str
+    manufacturer: str
+    category: str
+    availability: str
+    color: str = ""
+    weight: str = ""
+    warranty: str = ""
+
+
+@dataclass
+class CatalogData:
+    """One catalog page's logical content."""
+
+    store: str
+    products: list[ProductData] = field(default_factory=list)
+    ordering: str = ""
+
+
+def sample_catalog(rng: random.Random) -> CatalogData:
+    """Draw one catalog's content."""
+    products = []
+    for _ in range(rng.randint(3, 7)):
+        adjective = rng.choice(PRODUCT_ADJECTIVES)
+        noun = rng.choice(PRODUCT_NOUNS)
+        model = rng.randint(100, 9900)
+        products.append(
+            ProductData(
+                name=f"{adjective}{noun} {model}",
+                sku=f"{noun[:2].upper()}-{rng.randint(1000, 99999)}",
+                price=f"${rng.randint(9, 899)}.{rng.choice(('00', '49', '95', '99'))}",
+                manufacturer=rng.choice(MANUFACTURERS),
+                category=rng.choice(CATEGORIES),
+                availability=rng.choice(AVAILABILITY),
+                color=rng.choice(COLORS) if rng.random() < 0.7 else "",
+                weight=(
+                    f"{rng.randint(1, 40)}.{rng.randint(0, 9)} lbs"
+                    if rng.random() < 0.6
+                    else ""
+                ),
+                warranty=(
+                    f"{rng.randint(1, 5)}-year limited warranty"
+                    if rng.random() < 0.5
+                    else ""
+                ),
+            )
+        )
+    return CatalogData(
+        store=rng.choice(STORES),
+        products=products,
+        ordering=rng.choice(ORDERING_TEXT) if rng.random() < 0.8 else "",
+    )
+
+
+# ---------------------------------------------------------------------------
+# styles
+
+PRODUCT_FIELDS = (
+    "sku", "price", "manufacturer", "category", "availability",
+    "color", "weight", "warranty",
+)
+
+_FIELD_TAGS = {
+    "sku": "SKU",
+    "price": "PRICE",
+    "manufacturer": "MANUFACTURER",
+    "category": "CATEGORY",
+    "availability": "AVAILABILITY",
+    "color": "COLOR",
+    "weight": "WEIGHT",
+    "warranty": "WARRANTY",
+}
+
+
+def field_values(product: ProductData, order: tuple[str, ...]) -> list[tuple[str, str]]:
+    """(concept tag, text) pairs of the product's non-empty fields."""
+    return [
+        (_FIELD_TAGS[key], getattr(product, key))
+        for key in order
+        if getattr(product, key)
+    ]
+
+
+@dataclass
+class CatalogStyle:
+    """One way of rendering catalogs to HTML."""
+
+    name: str
+    field_order: tuple[str, ...] = PRODUCT_FIELDS
+    # Whether each product gets an "Item:"-style heading the converter
+    # can identify as a PRODUCT element.
+    product_heading: bool = True
+
+    def render(self, data: CatalogData, rng: random.Random) -> str:
+        raise NotImplementedError
+
+
+class HeadingCatalogStyle(CatalogStyle):
+    """h3 product headings with ul field lists."""
+
+    def __init__(self) -> None:
+        super().__init__(name="catalog-headings")
+
+    def render(self, data: CatalogData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>{data.store} Product Catalog</title></head><body>",
+            f"<h1>{rng.choice(CATALOG_HEADINGS)}</h1>",
+        ]
+        for product in data.products:
+            parts.append(f"<h3>Item: {product.name}</h3>")
+            parts.append("<ul>")
+            for _tag, value in field_values(product, self.field_order):
+                parts.append(f"<li>{value}</li>")
+            parts.append("</ul>")
+        if data.ordering:
+            parts.append(f"<h3>{rng.choice(ORDERING_HEADINGS)}</h3>")
+            parts.append(f"<p>{data.ordering}</p>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+
+class TableCatalogStyle(CatalogStyle):
+    """One table row per product; no per-product heading."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="catalog-table",
+            field_order=("sku", "manufacturer", "category", "price",
+                         "availability", "color", "weight", "warranty"),
+            product_heading=False,
+        )
+
+    def render(self, data: CatalogData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>{data.store} Price List</title></head><body>",
+            f"<h1>{rng.choice(CATALOG_HEADINGS)}</h1>",
+            "<table border=1>",
+        ]
+        for product in data.products:
+            cells = [product.name] + [
+                value for _tag, value in field_values(product, self.field_order)
+            ]
+            parts.append(
+                "<tr>" + "".join(f"<td>{cell}</td>" for cell in cells) + "</tr>"
+            )
+        parts.append("</table>")
+        if data.ordering:
+            parts.append(f"<h2>{rng.choice(ORDERING_HEADINGS)}</h2>")
+            parts.append(f"<p>{data.ordering}</p>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+
+class DefinitionCatalogStyle(CatalogStyle):
+    """dt product headings, dd comma-packed field lines."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="catalog-dl",
+            field_order=("price", "sku", "manufacturer", "category",
+                         "availability", "color", "weight", "warranty"),
+        )
+
+    def render(self, data: CatalogData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>{data.store} Catalogue</title></head><body>",
+            f"<h1>{rng.choice(CATALOG_HEADINGS)}</h1>",
+            "<dl>",
+        ]
+        for product in data.products:
+            parts.append(f"<dt><b>Item: {product.name}</b></dt>")
+            line = ", ".join(
+                value for _tag, value in field_values(product, self.field_order)
+            )
+            parts.append(f"<dd>{line}</dd>")
+        parts.append("</dl>")
+        if data.ordering:
+            parts.append(f"<h2>{rng.choice(ORDERING_HEADINGS)}</h2>")
+            parts.append(f"<p>{data.ordering}</p>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+
+CATALOG_STYLES: dict[str, CatalogStyle] = {
+    style.name: style
+    for style in (
+        HeadingCatalogStyle(),
+        TableCatalogStyle(),
+        DefinitionCatalogStyle(),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# ground truth + generator
+
+
+def build_catalog_ground_truth(data: CatalogData, style: CatalogStyle) -> Element:
+    """The logical concept tree for a rendered catalog.
+
+    Same conventions as the resume truth: each product is a record
+    anchored by its leading identified concept; with a product heading,
+    the record nests under a ``PRODUCT`` element carrying the heading.
+    """
+    root = Element("CATALOG")
+    for product in data.products:
+        fields = field_values(product, style.field_order)
+        if not fields:
+            continue
+        leader_tag, leader_value = fields[0]
+        leader = Element(leader_tag)
+        leader.set_val(leader_value)
+        for tag, value in fields[1:]:
+            child = Element(tag)
+            child.set_val(value)
+            leader.append_child(child)
+        if style.product_heading:
+            wrapper = Element("PRODUCT")
+            wrapper.set_val(f"Item: {product.name}")
+            wrapper.append_child(leader)
+            root.append_child(wrapper)
+        else:
+            root.append_child(leader)
+    if data.ordering:
+        ordering = Element("ORDERING")
+        ordering.set_val(data.ordering)
+        root.append_child(ordering)
+    return root
+
+
+@dataclass
+class GeneratedCatalog:
+    """One synthetic catalog page with its scoring context."""
+
+    doc_id: int
+    html: str
+    data: CatalogData
+    style_name: str
+    ground_truth: Element
+
+
+class CatalogCorpusGenerator:
+    """Seeded generator of heterogeneous catalog corpora."""
+
+    def __init__(self, seed: int = 2002) -> None:
+        self.seed = seed
+        self.styles = dict(CATALOG_STYLES)
+
+    def generate_one(self, doc_id: int) -> GeneratedCatalog:
+        rng = random.Random(f"catalog:{self.seed}:{doc_id}")
+        data = sample_catalog(rng)
+        style = self.styles[rng.choice(sorted(self.styles))]
+        return GeneratedCatalog(
+            doc_id=doc_id,
+            html=style.render(data, rng),
+            data=data,
+            style_name=style.name,
+            ground_truth=build_catalog_ground_truth(data, style),
+        )
+
+    def generate(self, count: int, *, start_id: int = 0) -> list[GeneratedCatalog]:
+        return [self.generate_one(start_id + i) for i in range(count)]

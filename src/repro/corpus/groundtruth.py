@@ -1,0 +1,152 @@
+"""Ground-truth logical trees for generated resumes.
+
+The paper's accuracy figure (Fig. 4) comes from manually inspecting 50
+documents and counting wrong parent-child and sibling relationships in
+the extracted trees.  Because our corpus is synthetic, the "manual" tree
+is constructible: it is the semantically correct concept tree for the
+resume's content, given the authoring choices the style made.
+
+Conventions (the human judgments the metric encodes):
+
+* Sections are children of the resume root, in rendered order.
+* An education/experience entry nests under its *leading* concept -- the
+  first field the author rendered ("often the first object in such a
+  group of semantically related objects describes the concept of this
+  group", Section 2.3.2; also the homonym discussion for ``date``).
+* Contact information is likewise one record (how to reach the person)
+  anchored by its leading field, so its remaining fields nest under the
+  first one the author rendered.
+* Skills are flat siblings under ``SKILLS`` (they are all at the same
+  level of abstraction, whatever line-packing the author used).
+* Courses carry a term date each (``COURSES`` has ``DATE`` children,
+  matching the paper's sample DTD ``<!ELEMENT courses ((#PCDATA),
+  date+)>``); award/activity/publication/reference/objective text has no
+  lower-level concepts, so those sections are leaves.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import ResumeData
+from repro.corpus.styles import (
+    RenderStyle,
+    contact_values,
+    education_values,
+    experience_values,
+)
+from repro.dom.node import Element
+
+_CONTACT_FIELD_TAGS = {
+    "address": "ADDRESS",
+    "city": "LOCATION",
+    "phone": "PHONE",
+    "email": "EMAIL",
+    "url": "URL",
+}
+
+_EDUCATION_FIELD_TAGS = {
+    "date": "DATE",
+    "institution": "INSTITUTION",
+    "degree": "DEGREE",
+    "gpa": "GPA",
+}
+
+_EXPERIENCE_FIELD_TAGS = {
+    "title": "JOB-TITLE",
+    "company": "COMPANY",
+    "location": "LOCATION",
+    "dates": "DATE",
+}
+
+
+def _entry_tree(
+    fields: list[tuple[str, str]]  # (concept tag, value), leader first
+) -> Element | None:
+    if not fields:
+        return None
+    leader_tag, leader_value = fields[0]
+    leader = Element(leader_tag)
+    leader.set_val(leader_value)
+    for tag, value in fields[1:]:
+        child = Element(tag)
+        child.set_val(value)
+        leader.append_child(child)
+    return leader
+
+
+def build_ground_truth(data: ResumeData, style: RenderStyle) -> Element:
+    """The logical concept tree for ``data`` as authored by ``style``."""
+    root = Element("RESUME")
+    for section in data.section_names():
+        root.append_child(_section_tree(section, data, style))
+    return root
+
+
+def _section_tree(section: str, data: ResumeData, style: RenderStyle) -> Element:
+    element = Element(section.upper())
+    if section == "contact":
+        values = contact_values(data, style.contact_order)
+        tags = [
+            _CONTACT_FIELD_TAGS[key]
+            for key in style.contact_order
+            if getattr(data, key)
+        ]
+        record = _entry_tree(list(zip(tags, values)))
+        if record is not None:
+            element.append_child(record)
+    elif section == "education":
+        for entry in data.education:
+            keys = [
+                key
+                for key in style.education_order
+                if education_values_single(entry, key)
+            ]
+            fields = [
+                (_EDUCATION_FIELD_TAGS[key], education_values_single(entry, key))
+                for key in keys
+            ]
+            tree = _entry_tree(fields)
+            if tree is not None:
+                element.append_child(tree)
+    elif section == "experience":
+        for entry in data.experience:
+            keys = [
+                key
+                for key in style.experience_order
+                if experience_values_single(entry, key)
+            ]
+            fields = [
+                (_EXPERIENCE_FIELD_TAGS[key], experience_values_single(entry, key))
+                for key in keys
+            ]
+            tree = _entry_tree(fields)
+            if tree is not None:
+                element.append_child(tree)
+    elif section == "skills":
+        for language in data.languages:
+            child = Element("PROGRAMMING-LANGUAGE")
+            child.set_val(language)
+            element.append_child(child)
+        for system in data.systems:
+            child = Element("OPERATING-SYSTEM")
+            child.set_val(system)
+            element.append_child(child)
+    elif section == "courses":
+        for course in data.courses:
+            # Courses render as "<name>, <term>"; the term is the DATE.
+            child = Element("DATE")
+            child.set_val(course.rsplit(", ", 1)[-1])
+            element.append_child(child)
+    # objective / awards / activities / publications / reference: leaves.
+    return element
+
+
+def education_values_single(entry, key: str) -> str:
+    """One education field's text ('' when absent)."""
+    return education_values(entry, (key,))[0] if education_values(entry, (key,)) else ""
+
+
+def experience_values_single(entry, key: str) -> str:
+    """One experience field's text ('' when absent)."""
+    return (
+        experience_values(entry, (key,))[0] if experience_values(entry, (key,)) else ""
+    )

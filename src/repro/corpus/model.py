@@ -1,0 +1,163 @@
+"""The logical resume data model.
+
+A :class:`ResumeData` is the author-independent content of one resume;
+rendering styles turn it into HTML, and the ground-truth builder turns it
+into the logical concept tree a perfect conversion would recover.
+Sampling lives in :mod:`repro.corpus.generator`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus import vocab
+
+
+@dataclass
+class EducationEntry:
+    """One degree: institution, degree name, date, optional GPA."""
+
+    institution: str
+    degree: str
+    date: str
+    gpa: str = ""
+
+
+@dataclass
+class ExperienceEntry:
+    """One job: title, company, location, date range."""
+
+    title: str
+    company: str
+    location: str
+    dates: str
+
+
+@dataclass
+class ResumeData:
+    """All content of one resume (sections may be empty)."""
+
+    name: str
+    email: str
+    phone: str
+    address: str
+    city: str
+    url: str = ""
+    objective: str = ""
+    education: list[EducationEntry] = field(default_factory=list)
+    experience: list[ExperienceEntry] = field(default_factory=list)
+    languages: list[str] = field(default_factory=list)
+    systems: list[str] = field(default_factory=list)
+    courses: list[str] = field(default_factory=list)
+    awards: list[str] = field(default_factory=list)
+    activities: list[str] = field(default_factory=list)
+    publications: list[str] = field(default_factory=list)
+    references: str = ""
+
+    def section_names(self) -> list[str]:
+        """The non-empty sections, in canonical order."""
+        present = ["contact"]
+        if self.objective:
+            present.append("objective")
+        if self.education:
+            present.append("education")
+        if self.experience:
+            present.append("experience")
+        if self.languages or self.systems:
+            present.append("skills")
+        if self.courses:
+            present.append("courses")
+        if self.awards:
+            present.append("awards")
+        if self.activities:
+            present.append("activities")
+        if self.publications:
+            present.append("publications")
+        if self.references:
+            present.append("reference")
+        return present
+
+
+def sample_resume(rng: random.Random) -> ResumeData:
+    """Draw one resume's content from the vocabulary pools."""
+    first = rng.choice(vocab.FIRST_NAMES)
+    last = rng.choice(vocab.LAST_NAMES)
+    city, state, zipcode = rng.choice(vocab.CITIES)
+    street_no = rng.randint(10, 9999)
+    street = rng.choice(vocab.STREETS)
+    email_user = f"{first[0].lower()}{last.lower()}"
+    email = f"{email_user}@{rng.choice(vocab.EMAIL_DOMAINS)}"
+    phone = f"({rng.randint(200, 989)}) {rng.randint(200, 989)}-{rng.randint(1000, 9999)}"
+
+    education: list[EducationEntry] = []
+    grad_year = rng.randint(1988, 2001)
+    for _ in range(rng.randint(2, 4)):
+        month = rng.choice(vocab.MONTHS)
+        entry = EducationEntry(
+            institution=rng.choice(vocab.UNIVERSITIES),
+            degree=rng.choice(vocab.DEGREES),
+            date=f"{month} {grad_year}",
+            gpa=(
+                f"GPA {rng.randint(30, 40) / 10:.1f}/4.0"
+                if rng.random() < 0.6
+                else ""
+            ),
+        )
+        education.append(entry)
+        grad_year += rng.randint(2, 5)
+
+    experience: list[ExperienceEntry] = []
+    job_year = grad_year - rng.randint(4, 8)
+    for _ in range(rng.randint(2, 5)):
+        end_year = job_year + rng.randint(1, 4)
+        end = str(end_year) if rng.random() < 0.8 else "present"
+        exp_city, _state, _zip = rng.choice(vocab.CITIES)
+        experience.append(
+            ExperienceEntry(
+                title=rng.choice(vocab.JOB_TITLES),
+                company=rng.choice(vocab.COMPANIES),
+                location=exp_city,
+                dates=f"{job_year} - {end}",
+            )
+        )
+        job_year = end_year
+
+    def pick(pool: tuple[str, ...], low: int, high: int) -> list[str]:
+        count = rng.randint(low, high)
+        return list(rng.sample(pool, min(count, len(pool))))
+
+    # Courses render with a term ("<name>, Fall 1995"): the term is a
+    # DATE concept instance, giving the paper's ``courses (date+)``
+    # sample-DTD shape a chance to emerge.
+    course_names = pick(vocab.COURSES, 2, 6) if rng.random() < 0.65 else []
+    courses = [
+        f"{name}, {rng.choice(('Spring', 'Summer', 'Fall', 'Winter'))} "
+        f"{rng.randint(1990, 2001)}"
+        for name in course_names
+    ]
+
+    return ResumeData(
+        name=f"{first} {last}",
+        email=email,
+        phone=phone,
+        address=f"{street_no} {street}",
+        city=f"{city}, {state} {zipcode}",
+        url=(
+            f"http://www.{rng.choice(vocab.EMAIL_DOMAINS)}/~{email_user}"
+            if rng.random() < 0.4
+            else ""
+        ),
+        objective=rng.choice(vocab.OBJECTIVES) if rng.random() < 0.8 else "",
+        education=education,
+        experience=experience,
+        languages=pick(vocab.PROGRAMMING_LANGUAGES, 3, 8),
+        systems=pick(vocab.OPERATING_SYSTEMS, 2, 5),
+        courses=courses,
+        awards=pick(vocab.AWARDS, 1, 3) if rng.random() < 0.5 else [],
+        activities=pick(vocab.ACTIVITIES, 1, 3) if rng.random() < 0.4 else [],
+        publications=(
+            pick(vocab.PUBLICATION_TITLES, 1, 3) if rng.random() < 0.25 else []
+        ),
+        references=rng.choice(vocab.REFERENCE_LINES) if rng.random() < 0.7 else "",
+    )

@@ -1,0 +1,304 @@
+"""Authorship rendering styles.
+
+Each style renders the same logical :class:`ResumeData` through a
+different visual HTML idiom -- exactly the heterogeneity premise of the
+paper ("documents that conceptually follow a common schema are marked up
+for visual rendering purposes only, and in different ways due to diverse
+authorship").  A style also declares the field orders it renders entries
+with, which the ground-truth builder needs (the leading field of an
+entry semantically "describes the concept of the group", Section 2.3.2).
+
+Styles included:
+
+========================  ====================================================
+``heading-list``          ``h2`` section headings, ``ul/li`` entries
+``table``                 all-table layout (``tr``/``td``)
+``definition-list``       ``dl/dt/dd`` sections
+``paragraph``             ``h3`` headings + comma-separated ``p`` lines
+``font-soup``             no headings; ``b``/``font``/``br`` era markup
+``center-hr``             ``center``/``hr``-separated sections, mixed lists
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.model import EducationEntry, ExperienceEntry, ResumeData
+
+# Heading text variants per section; every variant is (or contains) a
+# concept instance of the section's concept so heterogeneous headings
+# stay identifiable -- mirroring how the paper's user collects instances
+# "after inspecting a few of the retrieved HTML documents".
+SECTION_HEADINGS: dict[str, tuple[str, ...]] = {
+    "contact": ("Contact Information", "Contact", "Personal Information"),
+    "objective": ("Objective", "Career Objective", "Professional Objective"),
+    "education": ("Education", "Educational Background", "Academic Background"),
+    "experience": ("Experience", "Work Experience", "Professional Experience",
+                   "Employment History"),
+    "skills": ("Skills", "Technical Skills", "Computer Skills"),
+    "courses": ("Courses", "Relevant Coursework", "Selected Courses"),
+    "awards": ("Awards", "Honors and Awards", "Achievements"),
+    "activities": ("Activities", "Extracurricular Activities", "Interests"),
+    "publications": ("Publications", "Selected Publications"),
+    "reference": ("References", "Reference"),
+}
+
+EDUCATION_FIELDS = ("date", "institution", "degree", "gpa")
+EXPERIENCE_FIELDS = ("title", "company", "location", "dates")
+CONTACT_FIELDS = ("address", "city", "phone", "email", "url")
+
+
+def education_values(entry: EducationEntry, order: tuple[str, ...]) -> list[str]:
+    """The entry's non-empty field texts in the style's order."""
+    mapping = {
+        "date": entry.date,
+        "institution": entry.institution,
+        "degree": entry.degree,
+        "gpa": entry.gpa,
+    }
+    return [mapping[key] for key in order if mapping[key]]
+
+
+def experience_values(entry: ExperienceEntry, order: tuple[str, ...]) -> list[str]:
+    """The entry's non-empty field texts in the style's order."""
+    mapping = {
+        "title": entry.title,
+        "company": entry.company,
+        "location": entry.location,
+        "dates": entry.dates,
+    }
+    return [mapping[key] for key in order if mapping[key]]
+
+
+def contact_values(data: ResumeData, order: tuple[str, ...]) -> list[str]:
+    """The contact fields' non-empty texts in the style's order."""
+    mapping = {
+        "address": data.address,
+        "city": data.city,
+        "phone": data.phone,
+        "email": data.email,
+        "url": data.url,
+    }
+    return [mapping[key] for key in order if mapping[key]]
+
+
+@dataclass
+class RenderStyle:
+    """Base class: a named way of rendering resumes to HTML."""
+
+    name: str = "abstract"
+    education_order: tuple[str, ...] = EDUCATION_FIELDS
+    experience_order: tuple[str, ...] = EXPERIENCE_FIELDS
+    contact_order: tuple[str, ...] = CONTACT_FIELDS
+
+    def heading(self, section: str, rng: random.Random) -> str:
+        """Pick a heading text variant for a section."""
+        return rng.choice(SECTION_HEADINGS[section])
+
+    def render(self, data: ResumeData, rng: random.Random) -> str:
+        """Produce the document HTML."""
+        raise NotImplementedError
+
+    # -- shared content helpers ------------------------------------------
+
+    def skills_items(self, data: ResumeData) -> list[str]:
+        return list(data.languages) + list(data.systems)
+
+    def section_body_lines(
+        self, section: str, data: ResumeData, rng: random.Random
+    ) -> list[str]:
+        """The section's content as plain text lines (one per entry)."""
+        if section == "contact":
+            return contact_values(data, self.contact_order)
+        if section == "objective":
+            return [data.objective]
+        if section == "education":
+            return [
+                ", ".join(education_values(e, self.education_order))
+                for e in data.education
+            ]
+        if section == "experience":
+            return [
+                ", ".join(experience_values(e, self.experience_order))
+                for e in data.experience
+            ]
+        if section == "skills":
+            return self.skills_items(data)
+        if section == "courses":
+            return list(data.courses)
+        if section == "awards":
+            return list(data.awards)
+        if section == "activities":
+            return list(data.activities)
+        if section == "publications":
+            return list(data.publications)
+        if section == "reference":
+            return [data.references]
+        raise ValueError(f"unknown section: {section}")
+
+
+class HeadingListStyle(RenderStyle):
+    """``h2`` headings with ``ul/li`` bodies -- the classic layout."""
+
+    def __init__(self) -> None:
+        super().__init__(name="heading-list")
+
+    def render(self, data: ResumeData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>{data.name} - Resume</title></head><body>",
+            f"<h1>Resume of {data.name}</h1>",
+        ]
+        for section in data.section_names():
+            parts.append(f"<h2>{self.heading(section, rng)}</h2>")
+            lines = self.section_body_lines(section, data, rng)
+            parts.append("<ul>")
+            for line in lines:
+                parts.append(f"<li>{line}</li>")
+            parts.append("</ul>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+
+class TableStyle(RenderStyle):
+    """Everything in tables, the mid-90s way."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="table",
+            education_order=("institution", "degree", "date", "gpa"),
+            experience_order=("company", "title", "dates", "location"),
+        )
+
+    def render(self, data: ResumeData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>{data.name}</title></head><body>",
+            f"<h1>{data.name}</h1>",
+            "<table border=1>",
+        ]
+        for section in data.section_names():
+            parts.append(
+                f"<tr><td><b>{self.heading(section, rng)}</b></td><td><table>"
+            )
+            for line in self.section_body_lines(section, data, rng):
+                parts.append(f"<tr><td>{line}</td></tr>")
+            parts.append("</table></td></tr>")
+        parts.append("</table></body></html>")
+        return "\n".join(parts)
+
+
+class DefinitionListStyle(RenderStyle):
+    """``dl``: headings as ``dt``, entries as ``dd``."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="definition-list",
+            education_order=("degree", "institution", "date", "gpa"),
+        )
+
+    def render(self, data: ResumeData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>{data.name} Curriculum Vitae</title></head><body>",
+            f"<h1>Curriculum Vitae: {data.name}</h1>",
+            "<dl>",
+        ]
+        for section in data.section_names():
+            parts.append(f"<dt><strong>{self.heading(section, rng)}</strong></dt>")
+            for line in self.section_body_lines(section, data, rng):
+                parts.append(f"<dd>{line}</dd>")
+        parts.append("</dl></body></html>")
+        return "\n".join(parts)
+
+
+class ParagraphStyle(RenderStyle):
+    """``h3`` headings; each section body is comma-packed paragraphs."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="paragraph",
+            experience_order=("dates", "title", "company", "location"),
+        )
+
+    def render(self, data: ResumeData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>Resume: {data.name}</title></head><body>",
+            f"<h1>Resume</h1><p>{data.name}</p>",
+        ]
+        for section in data.section_names():
+            parts.append(f"<h3>{self.heading(section, rng)}</h3>")
+            lines = self.section_body_lines(section, data, rng)
+            if section in ("skills", "courses", "awards", "activities"):
+                # One comma-packed paragraph -- the hard case for rules.
+                parts.append(f"<p>{', '.join(lines)}</p>")
+            else:
+                for line in lines:
+                    parts.append(f"<p>{line}</p>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+
+class FontSoupStyle(RenderStyle):
+    """No structural markup at all: ``b``, ``font``, ``br`` everywhere.
+
+    The degenerate-but-common case the paper's grouping weights exist
+    for: bold runs act as section leaders.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="font-soup",
+            education_order=("institution", "date", "degree", "gpa"),
+        )
+
+    def render(self, data: ResumeData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>{data.name}</title></head>",
+            f'<body><font size="5">{data.name}</font><br><br>',
+        ]
+        for section in data.section_names():
+            parts.append(f"<b>{self.heading(section, rng)}</b><br>")
+            for line in self.section_body_lines(section, data, rng):
+                parts.append(f'<font size="3">{line}</font><br>')
+            parts.append("<br>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+
+class CenterHrStyle(RenderStyle):
+    """``center``ed headings separated by ``hr``, ``ol`` bodies."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="center-hr",
+            contact_order=("email", "phone", "address", "city", "url"),
+        )
+
+    def render(self, data: ResumeData, rng: random.Random) -> str:
+        parts = [
+            f"<html><head><title>{data.name} - Curriculum Vitae</title></head><body>",
+            f"<center><h1>{data.name}</h1></center>",
+        ]
+        for section in data.section_names():
+            parts.append("<hr>")
+            parts.append(f"<h2><center>{self.heading(section, rng)}</center></h2>")
+            lines = self.section_body_lines(section, data, rng)
+            parts.append("<ol>")
+            for line in lines:
+                parts.append(f"<li>{line}</li>")
+            parts.append("</ol>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+
+STYLES: dict[str, RenderStyle] = {
+    style.name: style
+    for style in (
+        HeadingListStyle(),
+        TableStyle(),
+        DefinitionListStyle(),
+        ParagraphStyle(),
+        FontSoupStyle(),
+        CenterHrStyle(),
+    )
+}

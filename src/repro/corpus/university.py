@@ -1,0 +1,229 @@
+"""A synthetic university-site corpus -- Section 5's second broad topic.
+
+"... XML repositories capturing linked HTML documents pertaining to
+broader topics such as product catalogs or University Web sites."
+
+The pages here are department faculty directories: one page lists the
+department's people with office, phone, email, and research interests.
+Like the resume and catalog corpora, every page carries its ground-truth
+concept tree, and the conversion/discovery pipeline is reused untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.concepts.concept import Concept, ConceptInstance, ConceptRole
+from repro.concepts.constraints import ConstraintSet
+from repro.concepts.knowledge import KnowledgeBase
+from repro.dom.node import Element
+
+# ---------------------------------------------------------------------------
+# knowledge base
+
+_PHONE_PATTERNS = [r"\(\d{3}\)\s*\d{3}[-.]\d{4}", r"\b\d{3}[-.]\d{3}[-.]\d{4}\b"]
+_EMAIL_PATTERNS = [r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b"]
+_OFFICE_PATTERNS = [r"\b(Room|Rm\.?)\s*\d+[A-Z]?\b", r"\b\d{3,4}\s+[A-Z][a-z]+\s+Hall\b"]
+
+
+def build_university_knowledge_base() -> KnowledgeBase:
+    """The faculty-directory domain: 9 concepts."""
+
+    def concept(name, role, keywords, patterns=(), description=""):
+        instances = [ConceptInstance(k) for k in keywords]
+        instances.extend(ConceptInstance(p, is_regex=True) for p in patterns)
+        return Concept(name, instances, role=role, description=description)
+
+    title = ConceptRole.TITLE
+    content = ConceptRole.CONTENT
+    concepts = [
+        concept(
+            "directory", title,
+            ["faculty directory", "people", "faculty and staff", "our faculty",
+             "department directory"],
+            description="The directory page root.",
+        ),
+        concept(
+            "faculty", title,
+            ["professor", "prof.", "dr.", "lecturer", "instructor"],
+            description="One person's entry (anchored by their title).",
+        ),
+        concept(
+            "research", title,
+            ["research interests", "research areas", "interests"],
+            description="Research-interest blocks.",
+        ),
+        concept(
+            "office", content, ["office"], _OFFICE_PATTERNS,
+            description="Office locations.",
+        ),
+        concept(
+            "phone", content, ["tel", "telephone", "fax"], _PHONE_PATTERNS,
+            description="Phone numbers.",
+        ),
+        concept(
+            "email", content, ["e-mail"], _EMAIL_PATTERNS,
+            description="Email addresses.",
+        ),
+        concept(
+            "area", content,
+            ["databases", "operating systems", "networks", "graphics",
+             "artificial intelligence", "theory", "security",
+             "information retrieval", "compilers", "architecture"],
+            description="Research areas.",
+        ),
+        concept(
+            "course", content,
+            [r"\b[A-Z]{2,4}\s?\d{2,3}[A-Z]?\b(?![:\d])"],
+            description="Courses taught (by code).",
+        ),
+        concept(
+            "degree", content,
+            ["ph.d.", "phd", "m.s.", "b.s.", "doctorate"],
+            description="Degrees held.",
+        ),
+    ]
+    # The course concept's only keyword is actually a regex.
+    concepts[7].instances = [
+        ConceptInstance("course"),
+        ConceptInstance(r"\b[A-Z]{2,4}\s?\d{2,3}[A-Z]?\b(?![:\d])", is_regex=True),
+    ]
+    constraints = ConstraintSet(no_repeat_on_path=True, max_depth=4)
+    constraints.add_depth("DIRECTORY", "=", 1)
+    return KnowledgeBase("directory", concepts, constraints)
+
+
+# ---------------------------------------------------------------------------
+# data model
+
+FIRST = ("Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace", "Hiro")
+LAST = ("Nguyen", "Okafor", "Petrov", "Quinn", "Rossi", "Sato", "Turner", "Ueda")
+TITLES = ("Professor", "Professor", "Lecturer", "Dr.")
+HALLS = ("Kemper Hall", "Watson Hall", "Evans Hall", "Soda Hall")
+AREAS = (
+    "Databases", "Operating Systems", "Networks", "Graphics",
+    "Artificial Intelligence", "Theory", "Security", "Information Retrieval",
+)
+DEPARTMENTS = ("Computer Science", "Electrical Engineering", "Statistics")
+
+
+@dataclass
+class FacultyEntry:
+    """One person in the directory."""
+
+    title: str
+    name: str
+    office: str
+    phone: str
+    email: str
+    areas: list[str] = field(default_factory=list)
+
+
+@dataclass
+class DirectoryData:
+    """One department directory page."""
+
+    department: str
+    entries: list[FacultyEntry] = field(default_factory=list)
+
+
+def sample_directory(rng: random.Random) -> DirectoryData:
+    """Draw one directory's content."""
+    entries = []
+    for _ in range(rng.randint(3, 8)):
+        first, last = rng.choice(FIRST), rng.choice(LAST)
+        entries.append(
+            FacultyEntry(
+                title=rng.choice(TITLES),
+                name=f"{first} {last}",
+                office=f"{rng.randint(100, 4999)} {rng.choice(HALLS)}",
+                phone=f"({rng.randint(200, 989)}) {rng.randint(200, 989)}-{rng.randint(1000, 9999)}",
+                email=f"{first[0].lower()}{last.lower()}@cs.example.edu",
+                areas=list(rng.sample(AREAS, rng.randint(1, 3))),
+            )
+        )
+    return DirectoryData(department=rng.choice(DEPARTMENTS), entries=entries)
+
+
+# ---------------------------------------------------------------------------
+# rendering + ground truth
+
+
+def render_directory(data: DirectoryData, rng: random.Random) -> str:
+    """Render with the heading/list idiom (one idiom suffices here; the
+    cross-style heterogeneity claim is carried by the other corpora)."""
+    parts = [
+        f"<html><head><title>{data.department} Faculty Directory</title></head><body>",
+        "<h1>Faculty Directory</h1>",
+    ]
+    for entry in data.entries:
+        parts.append(f"<h3>{entry.title} {entry.name}</h3>")
+        parts.append("<ul>")
+        parts.append(f"<li>{entry.office}</li>")
+        parts.append(f"<li>{entry.phone}</li>")
+        parts.append(f"<li>{entry.email}</li>")
+        parts.append(f"<li>Research interests: {', '.join(entry.areas)}</li>")
+        parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def build_directory_ground_truth(data: DirectoryData) -> Element:
+    """The logical concept tree for a rendered directory.
+
+    Same record convention as the resume contact block: the person's
+    fields form one record anchored by its leading concept (the office,
+    as the author rendered it first), and the research block anchors its
+    areas.
+    """
+    root = Element("DIRECTORY")
+    for entry in data.entries:
+        person = Element("FACULTY")
+        person.set_val(f"{entry.title} {entry.name}")
+        office = Element("OFFICE")
+        office.set_val(entry.office)
+        for tag, value in (("PHONE", entry.phone), ("EMAIL", entry.email)):
+            child = Element(tag)
+            child.set_val(value)
+            office.append_child(child)
+        research = Element("RESEARCH")
+        research.set_val("Research interests")
+        for area in entry.areas:
+            area_el = Element("AREA")
+            area_el.set_val(area)
+            research.append_child(area_el)
+        office.append_child(research)
+        person.append_child(office)
+        root.append_child(person)
+    return root
+
+
+@dataclass
+class GeneratedDirectory:
+    """One synthetic directory page with scoring context."""
+
+    doc_id: int
+    html: str
+    data: DirectoryData
+    ground_truth: Element
+
+
+class DirectoryCorpusGenerator:
+    """Seeded generator of faculty-directory corpora."""
+
+    def __init__(self, seed: int = 2002) -> None:
+        self.seed = seed
+
+    def generate_one(self, doc_id: int) -> GeneratedDirectory:
+        rng = random.Random(f"univ:{self.seed}:{doc_id}")
+        data = sample_directory(rng)
+        return GeneratedDirectory(
+            doc_id=doc_id,
+            html=render_directory(data, rng),
+            data=data,
+            ground_truth=build_directory_ground_truth(data),
+        )
+
+    def generate(self, count: int) -> list[GeneratedDirectory]:
+        return [self.generate_one(i) for i in range(count)]

@@ -1,0 +1,206 @@
+"""Deterministic fake-data pools for the synthetic resume corpus.
+
+All pools are plain tuples so sampling with a seeded ``random.Random``
+is reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Christopher", "Karen", "Charles",
+    "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Wei", "Mei", "Raj", "Priya", "Carlos", "Ana",
+    "Hiroshi", "Yuki", "Hans", "Ingrid",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Dawson", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Becker", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Chen", "Wang", "Kumar",
+    "Patel", "Kim", "Nguyen", "Schmidt", "Tanaka", "Rossi", "Silva",
+)
+
+UNIVERSITIES = (
+    "University of California at Davis",
+    "Stanford University",
+    "Massachusetts Institute of Technology",
+    "University of Texas at Austin",
+    "Carnegie Mellon University",
+    "University of Washington",
+    "Cornell University",
+    "University of Illinois at Urbana-Champaign",
+    "Georgia Institute of Technology",
+    "University of Michigan",
+    "San Jose State University",
+    "Purdue University",
+    "University of Wisconsin-Madison",
+    "Columbia University",
+    "De Anza College",
+    "Foothill College",
+)
+
+DEGREES = (
+    "B.S. (Computer Science)",
+    "B.S. in Electrical Engineering",
+    "B.A. in Mathematics",
+    "M.S. (Computer Science)",
+    "M.S. in Computer Engineering",
+    "Ph.D. in Computer Science",
+    "MBA",
+    "B.S. in Information Systems",
+    "M.A. in Statistics",
+    "Bachelor of Science in Physics",
+)
+
+MONTHS = (
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+)
+
+COMPANIES = (
+    "Acme Corp.",
+    "IBM Corporation",
+    "Sun Microsystems",
+    "Oracle Corporation",
+    "Hewlett-Packard Company",
+    "Netscape Communications",
+    "Verity Inc.",
+    "Cisco Systems",
+    "Intel Corporation",
+    "Silicon Graphics",
+    "NehaNet Corp.",
+    "Excite@Home",
+    "Lucent Technologies",
+    "Apple Computer",
+    "Adobe Systems",
+    "Inktomi Corporation",
+)
+
+JOB_TITLES = (
+    "Software Engineer",
+    "Senior Engineer",
+    "Member of Technical Staff",
+    "Software Developer",
+    "Systems Analyst",
+    "Database Administrator",
+    "Research Assistant",
+    "Teaching Assistant",
+    "Intern",
+    "Project Manager",
+    "QA Engineer",
+    "Web Developer",
+    "Technical Consultant",
+    "Network Administrator",
+)
+
+CITIES = (
+    ("San Jose", "CA", "95131"),
+    ("Sunnyvale", "CA", "94089"),
+    ("Davis", "CA", "95616"),
+    ("San Francisco", "CA", "94102"),
+    ("Seattle", "WA", "98101"),
+    ("Austin", "TX", "78701"),
+    ("Boston", "MA", "02108"),
+    ("New York", "NY", "10001"),
+    ("Palo Alto", "CA", "94301"),
+    ("Mountain View", "CA", "94040"),
+)
+
+STREETS = (
+    "Main Street", "Oak Avenue", "First Street", "Park Boulevard",
+    "Maple Drive", "University Avenue", "El Camino Real", "Castro Street",
+    "Market Street", "Lincoln Way",
+)
+
+PROGRAMMING_LANGUAGES = (
+    "C++", "Java", "C", "Perl", "Python", "JavaScript", "SQL", "HTML",
+    "XML", "Fortran", "Pascal", "Lisp", "Visual Basic", "Assembly",
+    "Matlab", "Scheme",
+)
+
+OPERATING_SYSTEMS = (
+    "Unix", "Linux", "Solaris", "Windows NT", "Windows 95", "MacOS",
+    "AIX", "HP-UX", "FreeBSD", "MS-DOS",
+)
+
+COURSES = (
+    "Data Structures and Algorithms",
+    "Operating Systems Design",
+    "Database Management Systems",
+    "Computer Networks",
+    "Compiler Construction",
+    "Artificial Intelligence",
+    "Software Engineering Methods",
+    "Computer Architecture",
+    "Distributed Systems",
+    "Theory of Computation",
+    "Numerical Analysis",
+    "Computer Graphics",
+)
+
+AWARDS = (
+    "Dean's List",
+    "Phi Beta Kappa",
+    "National Merit Scholar",
+    "Outstanding Student Award",
+    "Best Paper Award",
+    "ACM Programming Contest Finalist",
+    "Tau Beta Pi Honor Society",
+    "Graduate Research Fellowship",
+    "Chancellor's Scholarship",
+)
+
+ACTIVITIES = (
+    "ACM Student Chapter",
+    "IEEE Computer Society member",
+    "University Chess Club",
+    "Volunteer tutoring at local schools",
+    "Intramural soccer team",
+    "Habitat for Humanity volunteer",
+    "Photography club",
+    "Marathon running",
+)
+
+OBJECTIVES = (
+    "Seeking a software engineer position in databases",
+    "A challenging position in web information retrieval",
+    "To obtain a full-time position developing distributed applications",
+    "Seeking an internship in data management research",
+    "A senior engineering role with technical leadership responsibilities",
+    "To contribute to a dynamic development environment",
+)
+
+REFERENCE_LINES = (
+    "Available upon request",
+    "References available upon request",
+    "Available on request",
+    "Furnished upon request",
+)
+
+PUBLICATION_TITLES = (
+    "Efficient Query Processing over Semistructured Data",
+    "A Scalable Approach to Web Crawling",
+    "Indexing Techniques for XML Repositories",
+    "Schema Discovery in Heterogeneous Document Collections",
+    "Caching Strategies for Distributed Databases",
+    "Wrapper Generation for Online Data Sources",
+)
+
+EMAIL_DOMAINS = (
+    "cs.ucdavis.edu", "alumni.stanford.edu", "acm.org", "ieee.org",
+    "mail.com", "email.com", "techie.net", "webmail.org",
+)
+
+# Vocabulary for non-resume noise pages in the simulated web.
+NOISE_PAGE_TOPICS = (
+    ("Homepage", "Welcome to my homepage. Here are some links to my friends and photos of my cat."),
+    ("CS 101 Course Page", "Lecture notes and homework assignments for the introductory programming course."),
+    ("Department News", "The department is pleased to announce new faculty hires this fall semester."),
+    ("Recipe Collection", "My favorite pasta recipes collected over the years from family and friends."),
+    ("Conference Program", "The program committee invites submissions on all aspects of data engineering."),
+    ("Sports Club", "Match schedule and league standings for the campus soccer club."),
+    ("Travel Diary", "Photos and notes from our summer trip along the Pacific coast."),
+)

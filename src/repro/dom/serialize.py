@@ -1,0 +1,72 @@
+"""Serialization of document trees to XML and HTML text."""
+
+from __future__ import annotations
+
+from repro.dom.node import Element, Node, Text
+
+_XML_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_XML_ESCAPES, '"': "&quot;"}
+
+# HTML elements serialized without a closing tag.
+_VOID_TAGS = frozenset(
+    "area base br col embed hr img input link meta param source track wbr".split()
+)
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for XML/HTML output."""
+    for raw, esc in _XML_ESCAPES.items():
+        text = text.replace(raw, esc)
+    return text
+
+
+def escape_attr(text: str) -> str:
+    """Escape an attribute value for double-quoted output."""
+    for raw, esc in _ATTR_ESCAPES.items():
+        text = text.replace(raw, esc)
+    return text
+
+
+def _attrs_string(element: Element) -> str:
+    if not element.attrs:
+        return ""
+    parts = [f'{name}="{escape_attr(value)}"' for name, value in element.attrs.items()]
+    return " " + " ".join(parts)
+
+
+def to_xml(node: Node, *, indent: int = 2, _level: int = 0) -> str:
+    """Render a tree as pretty-printed XML.
+
+    Leaf elements render as self-closing tags, matching the element
+    patterns shown in the paper (``<INSTITUTION val="..."/>``).
+    """
+    pad = " " * (indent * _level)
+    if isinstance(node, Text):
+        return f"{pad}{escape_text(node.text)}"
+    assert isinstance(node, Element)
+    attrs = _attrs_string(node)
+    if not node.children:
+        return f"{pad}<{node.tag}{attrs}/>"
+    lines = [f"{pad}<{node.tag}{attrs}>"]
+    for child in node.children:
+        lines.append(to_xml(child, indent=indent, _level=_level + 1))
+    lines.append(f"{pad}</{node.tag}>")
+    return "\n".join(lines)
+
+
+def to_xml_document(root: Element, *, indent: int = 2) -> str:
+    """Render a complete XML document with an XML declaration."""
+    return '<?xml version="1.0" encoding="UTF-8"?>\n' + to_xml(root, indent=indent)
+
+
+def to_html(node: Node) -> str:
+    """Render a tree as compact HTML (void tags are not closed)."""
+    if isinstance(node, Text):
+        return escape_text(node.text)
+    assert isinstance(node, Element)
+    attrs = _attrs_string(node)
+    tag = node.tag.lower()
+    if tag in _VOID_TAGS and not node.children:
+        return f"<{tag}{attrs}>"
+    inner = "".join(to_html(child) for child in node.children)
+    return f"<{tag}{attrs}>{inner}</{tag}>"

@@ -1,0 +1,127 @@
+"""Traversals and structural operations on ordered trees."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.dom.node import Element, Node, Text
+
+
+def iter_preorder(root: Node) -> Iterator[Node]:
+    """Yield nodes in document (preorder, left-to-right) order."""
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Element):
+            stack.extend(reversed(node.children))
+
+
+def iter_postorder(root: Node) -> Iterator[Node]:
+    """Yield nodes bottom-up; children always precede their parent."""
+    # An explicit stack keeps very deep (malformed) documents from
+    # exhausting the recursion limit.
+    stack: list[tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded or not isinstance(node, Element) or not node.children:
+            yield node
+            continue
+        stack.append((node, True))
+        stack.extend((child, False) for child in reversed(node.children))
+
+
+def iter_elements(root: Node) -> Iterator[Element]:
+    """Yield only the element nodes, in preorder."""
+    for node in iter_preorder(root):
+        if isinstance(node, Element):
+            yield node
+
+
+def tree_size(root: Node) -> int:
+    """Total number of nodes in the tree."""
+    return sum(1 for _ in iter_preorder(root))
+
+
+def tree_depth(root: Node) -> int:
+    """Number of edges on the longest root-to-leaf path."""
+    if not isinstance(root, Element) or not root.children:
+        return 0
+    return 1 + max(tree_depth(child) for child in root.children)
+
+
+def clone(node: Node) -> Node:
+    """Deep-copy a subtree (the copy is detached)."""
+    if isinstance(node, Text):
+        return Text(node.text)
+    assert isinstance(node, Element)
+    copy = Element(node.tag, dict(node.attrs))
+    for child in node.children:
+        copy.append_child(clone(child))
+    return copy
+
+
+def deep_equal(a: Node, b: Node, *, compare_attrs: bool = True) -> bool:
+    """Structural equality of two subtrees.
+
+    With ``compare_attrs=False`` only tags and tree shape are compared,
+    which is what the schema-level comparisons need.
+    """
+    if isinstance(a, Text) or isinstance(b, Text):
+        return isinstance(a, Text) and isinstance(b, Text) and a.text == b.text
+    assert isinstance(a, Element) and isinstance(b, Element)
+    if a.tag != b.tag:
+        return False
+    if compare_attrs and a.attrs != b.attrs:
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    return all(
+        deep_equal(ca, cb, compare_attrs=compare_attrs)
+        for ca, cb in zip(a.children, b.children)
+    )
+
+
+def tree_signature(node: Node, *, include_val: bool = False) -> str:
+    """A canonical string for a subtree's shape.
+
+    Used to detect groups of similarly structured siblings (consolidation
+    rule) and to unify similar schema components.  Text nodes collapse to
+    ``#text`` so signatures reflect structure, not content.
+    """
+    if isinstance(node, Text):
+        return "#text"
+    assert isinstance(node, Element)
+    label = node.tag
+    if include_val and node.get_val():
+        label += f"[{node.get_val()}]"
+    if not node.children:
+        return label
+    inner = ",".join(
+        tree_signature(child, include_val=include_val) for child in node.children
+    )
+    return f"{label}({inner})"
+
+
+def find_elements(
+    root: Node, predicate: Callable[[Element], bool]
+) -> list[Element]:
+    """All elements (preorder) satisfying ``predicate``."""
+    return [el for el in iter_elements(root) if predicate(el)]
+
+
+def first_element(
+    root: Node, predicate: Callable[[Element], bool]
+) -> Optional[Element]:
+    """First element (preorder) satisfying ``predicate``, or ``None``."""
+    for el in iter_elements(root):
+        if predicate(el):
+            return el
+    return None
+
+
+def count_elements(root: Node, tag: Optional[str] = None) -> int:
+    """Number of elements in the tree, optionally restricted to ``tag``."""
+    if tag is None:
+        return sum(1 for _ in iter_elements(root))
+    return sum(1 for el in iter_elements(root) if el.tag == tag)

@@ -1,0 +1,34 @@
+"""Evaluation harness for the paper's experiments (Section 4).
+
+* :mod:`repro.evaluation.accuracy` -- logical-error counting against
+  ground truth (Figure 4).
+* :mod:`repro.evaluation.searchspace` -- constraint search-space
+  accounting (Section 4.2).
+* :mod:`repro.evaluation.scaling` -- runtime scalability sweeps
+  (Figure 5).
+* :mod:`repro.evaluation.report` -- plain-text tables and histograms.
+"""
+
+from repro.evaluation.accuracy import (
+    AccuracyReport,
+    DocumentErrors,
+    count_logical_errors,
+    evaluate_accuracy,
+)
+from repro.evaluation.report import format_histogram, format_table
+from repro.evaluation.scaling import ScalingPoint, ScalingReport, run_scaling_experiment
+from repro.evaluation.searchspace import SearchSpaceReport, run_search_space_experiment
+
+__all__ = [
+    "count_logical_errors",
+    "DocumentErrors",
+    "AccuracyReport",
+    "evaluate_accuracy",
+    "SearchSpaceReport",
+    "run_search_space_experiment",
+    "ScalingPoint",
+    "ScalingReport",
+    "run_scaling_experiment",
+    "format_table",
+    "format_histogram",
+]

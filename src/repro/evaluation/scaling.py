@@ -1,0 +1,111 @@
+"""Scalability measurement (Section 4.3 / Figure 5).
+
+The paper measures end-to-end running time (conversion + schema
+discovery) for datasets of increasing size and reports a "very strong
+linear relationship" with the number of concept nodes (and with the
+number of nodes and of documents).  Absolute times are hardware-bound
+(the paper used a Pentium 266); the reproducible claim is the *linear
+shape*, so this module reports the least-squares fit and its R².
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.concepts.knowledge import KnowledgeBase
+from repro.convert.config import ConversionConfig
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.paths import extract_paths
+
+
+@dataclass
+class ScalingPoint:
+    """One measurement of the sweep."""
+
+    documents: int
+    nodes: int
+    concept_nodes: int
+    seconds: float
+
+
+@dataclass
+class ScalingReport:
+    """The Figure 5 series plus linear fits."""
+
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def _fit(self, xs: list[float], ys: list[float]) -> tuple[float, float]:
+        """Least-squares slope and R² (computed without numpy so the
+        library core stays dependency-free)."""
+        n = len(xs)
+        if n < 2:
+            return 0.0, 0.0
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        if sxx == 0:
+            return 0.0, 0.0
+        slope = sxy / sxx
+        intercept = mean_y - slope * mean_x
+        ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+        ss_tot = sum((y - mean_y) ** 2 for y in ys)
+        r2 = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+        return slope, r2
+
+    def fit_against(self, measure: str) -> tuple[float, float]:
+        """(slope, R²) of seconds against 'documents' | 'nodes' |
+        'concept_nodes'."""
+        xs = [float(getattr(p, measure)) for p in self.points]
+        ys = [p.seconds for p in self.points]
+        return self._fit(xs, ys)
+
+    @property
+    def seconds_per_document(self) -> float:
+        """Average wall time per document at the largest sweep point."""
+        if not self.points:
+            return 0.0
+        last = self.points[-1]
+        return last.seconds / last.documents if last.documents else 0.0
+
+
+def run_scaling_experiment(
+    kb: KnowledgeBase,
+    sizes: list[int],
+    *,
+    seed: int = 1966,
+    sup_threshold: float = 0.4,
+    config: ConversionConfig | None = None,
+) -> ScalingReport:
+    """Time the full pipeline (convert + mine) at each corpus size.
+
+    Documents are generated outside the timed region; the clock covers
+    exactly what the paper timed (restructuring + schema discovery).
+    """
+    generator = ResumeCorpusGenerator(seed=seed)
+    converter = DocumentConverter(kb, config or ConversionConfig())
+    report = ScalingReport()
+    for size in sizes:
+        corpus = generator.generate_html(size)
+        started = time.perf_counter()
+        results = [converter.convert(html) for html in corpus]
+        documents = [extract_paths(result.root) for result in results]
+        mine_frequent_paths(
+            documents,
+            sup_threshold=sup_threshold,
+            constraints=kb.constraints,
+            candidate_labels=kb.concept_tags(),
+        )
+        elapsed = time.perf_counter() - started
+        report.points.append(
+            ScalingPoint(
+                documents=size,
+                nodes=sum(result.input_nodes for result in results),
+                concept_nodes=sum(result.concept_node_count for result in results),
+                seconds=elapsed,
+            )
+        )
+    return report

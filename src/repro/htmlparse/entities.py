@@ -1,0 +1,89 @@
+"""HTML character-reference decoding.
+
+Supports the named entities that occur in real-world resume pages plus
+decimal/hexadecimal numeric references.  Unknown references are left
+verbatim, which is what browsers of the paper's era did.
+"""
+
+from __future__ import annotations
+
+import re
+
+NAMED_ENTITIES: dict[str, str] = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "deg": "°",
+    "plusmn": "±",
+    "middot": "·",
+    "laquo": "«",
+    "raquo": "»",
+    "ldquo": "“",
+    "rdquo": "”",
+    "lsquo": "‘",
+    "rsquo": "’",
+    "ndash": "–",
+    "mdash": "—",
+    "hellip": "…",
+    "bull": "•",
+    "sect": "§",
+    "para": "¶",
+    "frac12": "½",
+    "frac14": "¼",
+    "times": "×",
+    "divide": "÷",
+    "eacute": "é",
+    "egrave": "è",
+    "agrave": "à",
+    "uuml": "ü",
+    "ouml": "ö",
+    "auml": "ä",
+    "szlig": "ß",
+    "ccedil": "ç",
+    "ntilde": "ñ",
+    "pound": "£",
+    "yen": "¥",
+    "euro": "€",
+    "cent": "¢",
+}
+
+_ENTITY_RE = re.compile(
+    r"&(#[xX]?[0-9a-fA-F]+|[a-zA-Z][a-zA-Z0-9]*);?", re.ASCII
+)
+
+
+def _decode_one(match: re.Match[str]) -> str:
+    body = match.group(1)
+    if body.startswith("#"):
+        try:
+            if body[1:2] in ("x", "X"):
+                code = int(body[2:], 16)
+            else:
+                code = int(body[1:], 10)
+        except ValueError:
+            return match.group(0)
+        if 0 < code <= 0x10FFFF:
+            try:
+                return chr(code)
+            except ValueError:
+                return match.group(0)
+        return match.group(0)
+    replacement = NAMED_ENTITIES.get(body)
+    if replacement is None:
+        replacement = NAMED_ENTITIES.get(body.lower())
+    if replacement is None:
+        return match.group(0)
+    return replacement
+
+
+def decode_entities(text: str) -> str:
+    """Replace character references in ``text`` with their characters."""
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(_decode_one, text)

@@ -1,0 +1,151 @@
+"""Tree construction from the HTML token stream.
+
+Implements the forgiving subset of the HTML4/DOM tree-building rules the
+paper's document model requires:
+
+* void elements never open a scope,
+* optional end tags are implied (``<li>``, ``<p>``, table parts),
+* mismatched end tags close intervening open elements when a matching
+  open element exists, and are dropped otherwise,
+* everything is rooted under ``html > body`` even when those tags are
+  missing from the source.
+
+Comments and doctype tokens are discarded: they carry no information the
+restructuring rules use.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dom.node import Element, Text
+from repro.htmlparse.taginfo import is_void, tags_closed_by
+from repro.htmlparse.tokenizer import TokenType, tokenize
+
+_WHITESPACE_ONLY_RE = re.compile(r"^\s*$")
+
+# Structural tags handled specially at the document level.
+_DOCUMENT_TAGS = frozenset({"html", "head", "body"})
+
+
+class _TreeBuilder:
+    """Assembles tokens into an element tree."""
+
+    def __init__(self, *, fragment: bool) -> None:
+        self.fragment = fragment
+        if fragment:
+            self.root = Element("#fragment")
+            self.body = self.root
+        else:
+            self.root = Element("html")
+            self.body = Element("body")
+        self.stack: list[Element] = [self.body]
+        self.head: Element | None = None
+
+    # -- stack helpers ---------------------------------------------------
+
+    def _current(self) -> Element:
+        return self.stack[-1]
+
+    def _open_tags(self) -> list[str]:
+        return [el.tag for el in self.stack]
+
+    def _close_implied(self, tag: str) -> None:
+        closers = tags_closed_by(tag)
+        if not closers:
+            return
+        while len(self.stack) > 1 and self._current().tag in closers:
+            self.stack.pop()
+
+    # -- token handlers ----------------------------------------------------
+
+    def start_tag(self, name: str, attrs: dict[str, str], self_closing: bool) -> None:
+        if not self.fragment and name in _DOCUMENT_TAGS:
+            self._document_tag(name, attrs)
+            return
+        self._close_implied(name)
+        element = Element(name, attrs)
+        self._current().append_child(element)
+        if not is_void(name) and not self_closing:
+            self.stack.append(element)
+
+    def _document_tag(self, name: str, attrs: dict[str, str]) -> None:
+        if name == "html":
+            self.root.attrs.update(attrs)
+        elif name == "head":
+            if self.head is None:
+                self.head = Element("head", attrs)
+        elif name == "body":
+            self.body.attrs.update(attrs)
+
+    def end_tag(self, name: str) -> None:
+        if not self.fragment and name in _DOCUMENT_TAGS:
+            return
+        if name not in self._open_tags():
+            return  # stray end tag: drop it
+        while len(self.stack) > 1:
+            closed = self.stack.pop()
+            if closed.tag == name:
+                return
+        # ``name`` was the root scope marker itself; nothing else to do.
+
+    def text(self, data: str) -> None:
+        if _WHITESPACE_ONLY_RE.match(data):
+            return
+        current = self._current()
+        # Merge adjacent text nodes so downstream tokenization sees whole
+        # topic sentences.
+        if current.children and isinstance(current.children[-1], Text):
+            current.children[-1].text += data
+        else:
+            current.append_child(Text(data))
+
+    def finish(self) -> Element:
+        if self.fragment:
+            return self.root
+        if self.head is not None:
+            self.root.append_child(self.head)
+        self.root.append_child(self.body)
+        return self.root
+
+
+def parse_html(source: str) -> Element:
+    """Parse an HTML document string into an element tree.
+
+    Returns the ``html`` root element; body content hangs under its
+    ``body`` child regardless of whether the source declared one.
+    """
+    builder = _TreeBuilder(fragment=False)
+    return _run(builder, source)
+
+
+def parse_fragment(source: str) -> Element:
+    """Parse an HTML fragment; returns a ``#fragment`` container element."""
+    builder = _TreeBuilder(fragment=True)
+    return _run(builder, source)
+
+
+def _run(builder: _TreeBuilder, source: str) -> Element:
+    for token in tokenize(source):
+        if token.type is TokenType.START_TAG:
+            builder.start_tag(token.data, token.attrs, token.self_closing)
+        elif token.type is TokenType.END_TAG:
+            builder.end_tag(token.data)
+        elif token.type is TokenType.TEXT:
+            builder.text(token.data)
+        # comments and doctype: ignored
+    return builder.finish()
+
+
+def body_of(document: Element) -> Element:
+    """Return the ``body`` element of a parsed document.
+
+    Accepts either a full document (``html`` root) or a fragment, in which
+    case the fragment container itself is returned.
+    """
+    if document.tag in ("body", "#fragment"):
+        return document
+    for child in document.element_children():
+        if child.tag == "body":
+            return child
+    return document

@@ -1,0 +1,194 @@
+"""An HTML cleanser in the spirit of HTML Tidy.
+
+Section 2.4 observes that although the restructuring heuristics tolerate
+ill-formed HTML, "applying HTML cleansing tools (such as HTML Tidy) can
+improve the accuracy of resulting XML documents."  This module provides
+the cleansing pass for that ablation (experiment E6): it operates on an
+already-parsed tree and repairs the malformations our noise injector (and
+the era's hand-written HTML) produce.
+
+Fix-ups applied, in order:
+
+1. *Heading/inline nesting repair* -- block-level children of a heading
+   or of an inline element (the fallout of a dropped ``</h2>`` or an
+   unclosed ``<font>``) are moved out to become following siblings.
+2. *Orphan list items* -- runs of ``li`` outside a list container are
+   wrapped in a ``ul``; orphan ``dt``/``dd`` runs are wrapped in a ``dl``.
+3. *Orphan table parts* -- runs of ``tr`` outside a table are wrapped in a
+   ``table``; ``td``/``th`` outside a row are wrapped in a ``tr``.
+4. *Empty inline removal* -- inline elements with no content are deleted.
+5. *Redundant inline collapse* -- ``<b><b>x</b></b>`` becomes ``<b>x</b>``.
+6. *Whitespace normalization* -- runs of whitespace in text nodes collapse
+   to a single space (outside ``pre``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dom.node import Element, Node, Text
+from repro.dom.treeops import iter_postorder
+from repro.htmlparse.taginfo import (
+    LIST_CONTAINER_TAGS,
+    LIST_ITEM_TAGS,
+    is_block,
+    is_heading,
+    is_inline,
+)
+
+_WS_RE = re.compile(r"\s+")
+
+
+def tidy(root: Element) -> Element:
+    """Cleanse a parsed HTML tree in place and return it."""
+    _repair_heading_nesting(root)
+    _repair_inline_block_nesting(root)
+    _wrap_orphans(root)
+    _drop_empty_inlines(root)
+    _collapse_redundant_inlines(root)
+    _normalize_whitespace(root)
+    return root
+
+
+# ---------------------------------------------------------------------------
+# 1. heading nesting
+
+
+def _repair_heading_nesting(root: Element) -> None:
+    for node in list(iter_postorder(root)):
+        if not isinstance(node, Element) or not is_heading(node.tag):
+            continue
+        if node.parent is None:
+            continue
+        misplaced = [
+            child
+            for child in node.element_children()
+            if is_block(child.tag) or is_heading(child.tag)
+        ]
+        parent = node.parent
+        insert_at = node.index_in_parent() + 1
+        for child in misplaced:
+            child.detach()
+            parent.insert_child(insert_at, child)
+            insert_at += 1
+
+
+def _repair_inline_block_nesting(root: Element) -> None:
+    """Move block-level children out of inline elements.
+
+    An unclosed ``<font>`` or ``<b>`` swallows the block elements that
+    follow it; HTML Tidy hoists them back out, restoring the sibling
+    structure the grouping rule depends on.
+    """
+    for node in list(iter_postorder(root)):
+        if not isinstance(node, Element) or not is_inline(node.tag):
+            continue
+        if node.parent is None:
+            continue
+        misplaced = [
+            child
+            for child in node.element_children()
+            if is_block(child.tag) or is_heading(child.tag)
+        ]
+        parent = node.parent
+        insert_at = node.index_in_parent() + 1
+        for child in misplaced:
+            child.detach()
+            parent.insert_child(insert_at, child)
+            insert_at += 1
+
+
+# ---------------------------------------------------------------------------
+# 2. orphan wrapping
+
+_DL_ITEMS = frozenset({"dt", "dd"})
+_TABLE_CELLS = frozenset({"td", "th"})
+
+
+def _wrap_orphans(root: Element) -> None:
+    for node in list(iter_postorder(root)):
+        if not isinstance(node, Element):
+            continue
+        _wrap_runs(node, lambda el: el.tag in {"li"}, "ul", forbidden_parents=LIST_CONTAINER_TAGS)
+        _wrap_runs(node, lambda el: el.tag in _DL_ITEMS, "dl", forbidden_parents=LIST_CONTAINER_TAGS)
+        _wrap_runs(node, lambda el: el.tag == "tr", "table", forbidden_parents=frozenset({"table", "thead", "tbody", "tfoot"}))
+        _wrap_runs(node, lambda el: el.tag in _TABLE_CELLS, "tr", forbidden_parents=frozenset({"tr"}))
+
+
+def _wrap_runs(parent, predicate, wrapper_tag: str, *, forbidden_parents: frozenset[str]) -> None:
+    """Wrap maximal runs of matching children under a new wrapper element."""
+    if parent.tag in forbidden_parents:
+        return
+    index = 0
+    while index < len(parent.children):
+        child = parent.children[index]
+        if isinstance(child, Element) and predicate(child):
+            run = [child]
+            scan = index + 1
+            while scan < len(parent.children):
+                nxt = parent.children[scan]
+                if isinstance(nxt, Element) and predicate(nxt):
+                    run.append(nxt)
+                    scan += 1
+                elif isinstance(nxt, Text) and not nxt.text.strip():
+                    scan += 1
+                else:
+                    break
+            wrapper = Element(wrapper_tag)
+            parent.insert_child(index, wrapper)
+            for item in run:
+                wrapper.append_child(item)
+        index += 1
+
+
+# ---------------------------------------------------------------------------
+# 4. empty inline removal
+
+
+def _drop_empty_inlines(root: Element) -> None:
+    for node in list(iter_postorder(root)):
+        if (
+            isinstance(node, Element)
+            and node.parent is not None
+            and is_inline(node.tag)
+            and not node.children
+            and not node.get_val()
+        ):
+            node.detach()
+
+
+# ---------------------------------------------------------------------------
+# 5. redundant inline collapse
+
+
+def _collapse_redundant_inlines(root: Element) -> None:
+    for node in list(iter_postorder(root)):
+        if not isinstance(node, Element) or node.parent is None:
+            continue
+        if not is_inline(node.tag):
+            continue
+        parent = node.parent
+        if isinstance(parent, Element) and parent.tag == node.tag and len(parent.children) == 1:
+            # parent is the same inline tag wrapping only this node:
+            # splice this node's children into the parent.
+            for child in list(node.children):
+                parent.append_child(child)
+            node.detach()
+
+
+# ---------------------------------------------------------------------------
+# 6. whitespace
+
+
+def _normalize_whitespace(root: Element) -> None:
+    for node in iter_postorder(root):
+        if isinstance(node, Text) and not _inside_pre(node):
+            node.text = _WS_RE.sub(" ", node.text).strip()
+    # Remove text nodes that became empty.
+    for node in list(iter_postorder(root)):
+        if isinstance(node, Text) and not node.text and node.parent is not None:
+            node.detach()
+
+
+def _inside_pre(node: Node) -> bool:
+    return any(ancestor.tag == "pre" for ancestor in node.ancestors())

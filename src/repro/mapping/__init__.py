@@ -1,0 +1,36 @@
+"""Document Mapping Component (Section 5, companion papers [11, 13]).
+
+"The Document Mapping component ... converts non-conforming XML
+documents using a tree-edit distance algorithm so that they eventually
+conform to the derived DTD and can easily be integrated into an XML
+document repository."
+
+* :mod:`repro.mapping.tree_edit` -- Zhang--Shasha ordered tree edit
+  distance, implemented from scratch.
+* :mod:`repro.mapping.validate` -- DTD conformance checking.
+* :mod:`repro.mapping.conform` -- DTD-guided document repair.
+* :mod:`repro.mapping.repository` -- the XML repository that integrates
+  conformed documents.
+"""
+
+from repro.mapping.conform import ConformResult, conform_document
+from repro.mapping.edit_script import approximate_edit_script
+from repro.mapping.migrate import MigrationReport, migrate_repository
+from repro.mapping.persistence import load_repository, save_repository
+from repro.mapping.repository import XMLRepository
+from repro.mapping.tree_edit import tree_edit_distance
+from repro.mapping.validate import Violation, validate_document
+
+__all__ = [
+    "tree_edit_distance",
+    "validate_document",
+    "Violation",
+    "conform_document",
+    "ConformResult",
+    "XMLRepository",
+    "save_repository",
+    "load_repository",
+    "migrate_repository",
+    "MigrationReport",
+    "approximate_edit_script",
+]

@@ -1,0 +1,154 @@
+"""Approximate edit scripts between ordered trees.
+
+The Zhang--Shasha algorithm in :mod:`repro.mapping.tree_edit` yields the
+optimal *distance*; for diagnostics ("what did the mapping actually
+change?") a concrete operation list is more useful than a number.  This
+module produces one by recursive alignment: children are matched with a
+longest-common-subsequence over their labels, matched pairs recurse,
+unmatched nodes become delete/insert (or relabel when exactly one of
+each remains in place).
+
+The script's cost is an upper bound on the optimal edit distance (every
+script transforms ``a`` into ``b``; the optimum is the cheapest one) --
+tests assert that invariant against the exact distance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dom.node import Element
+
+
+class EditOp(enum.Enum):
+    """Kinds of edit operations."""
+
+    RELABEL = "relabel"
+    DELETE = "delete"
+    INSERT = "insert"
+
+
+@dataclass(frozen=True)
+class EditStep:
+    """One operation, located by the label path of the affected node."""
+
+    op: EditOp
+    path: tuple[str, ...]
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.op.value} at /{'/'.join(self.path)}: {self.detail}"
+
+
+def _lcs_pairs(
+    left: list[Element], right: list[Element]
+) -> list[tuple[int, int]]:
+    """Index pairs of a longest common subsequence by element tag."""
+    n, m = len(left), len(right)
+    table = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            if left[i].tag == right[j].tag:
+                table[i][j] = table[i + 1][j + 1] + 1
+            else:
+                table[i][j] = max(table[i + 1][j], table[i][j + 1])
+    pairs: list[tuple[int, int]] = []
+    i = j = 0
+    while i < n and j < m:
+        if left[i].tag == right[j].tag:
+            pairs.append((i, j))
+            i += 1
+            j += 1
+        elif table[i + 1][j] >= table[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return pairs
+
+
+def _subtree_size(element: Element) -> int:
+    return 1 + sum(_subtree_size(child) for child in element.element_children())
+
+
+def approximate_edit_script(
+    source: Element, target: Element
+) -> list[EditStep]:
+    """An edit script transforming ``source`` into ``target``.
+
+    Not guaranteed minimal (see module docstring), but sound: its cost
+    upper-bounds the Zhang--Shasha distance.
+    """
+    steps: list[EditStep] = []
+
+    def walk(a: Element, b: Element, path: tuple[str, ...]) -> None:
+        if a.tag != b.tag:
+            steps.append(
+                EditStep(EditOp.RELABEL, path, f"{a.tag} -> {b.tag}")
+            )
+        left = a.element_children()
+        right = b.element_children()
+        matched = _lcs_pairs(left, right)
+        matched_left = {i for i, _j in matched}
+        matched_right = {j for _i, j in matched}
+        unmatched_left = [x for i, x in enumerate(left) if i not in matched_left]
+        unmatched_right = [x for j, x in enumerate(right) if j not in matched_right]
+
+        def same_side_of_all_matches() -> bool:
+            li = next(i for i, x in enumerate(left) if i not in matched_left)
+            rj = next(j for j, x in enumerate(right) if j not in matched_right)
+            return all((li < i) == (rj < j) for i, j in matched)
+
+        # A lone unmatched node on each side is a relabel opportunity --
+        # but only when the tags differ (equal tags that the LCS skipped
+        # mean crossed positions) AND the pair sits on the same side of
+        # every matched pair.  A crossing is a real reorder and must be
+        # paid for as delete+insert: ordered-tree edits have no free
+        # moves.
+        if (
+            len(unmatched_left) == 1
+            and len(unmatched_right) == 1
+            and unmatched_left[0].tag != unmatched_right[0].tag
+            and same_side_of_all_matches()
+        ):
+            walk(
+                unmatched_left[0],
+                unmatched_right[0],
+                path + (unmatched_left[0].tag,),
+            )
+            unmatched_left = []
+            unmatched_right = []
+
+        # Removing or adding a subtree costs one operation per node.
+        for node in unmatched_left:
+            size = _subtree_size(node)
+            steps.append(
+                EditStep(
+                    EditOp.DELETE, path + (node.tag,), f"subtree of {size} node(s)"
+                )
+            )
+            steps.extend(
+                EditStep(EditOp.DELETE, path + (node.tag,), "descendant")
+                for _ in range(size - 1)
+            )
+        for node in unmatched_right:
+            size = _subtree_size(node)
+            steps.append(
+                EditStep(
+                    EditOp.INSERT, path + (node.tag,), f"subtree of {size} node(s)"
+                )
+            )
+            steps.extend(
+                EditStep(EditOp.INSERT, path + (node.tag,), "descendant")
+                for _ in range(size - 1)
+            )
+        for i, j in matched:
+            walk(left[i], right[j], path + (left[i].tag,))
+
+    walk(source, target, (source.tag,))
+    return steps
+
+
+def script_cost(steps: list[EditStep]) -> int:
+    """Unit cost of a script (one per operation)."""
+    return len(steps)

@@ -1,0 +1,102 @@
+"""Repository persistence: save/load an XML repository to/from disk.
+
+The Quixote prototype ([11]) the paper mentions builds durable "XML
+repositories from topic specific Web documents"; this module provides
+the storage layer: a directory holding the DTD, one XML file per
+document, and a JSON manifest with the insertion statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dom.node import Element
+from repro.dom.serialize import to_xml_document
+from repro.dom.treeops import iter_elements
+from repro.htmlparse.parser import parse_fragment
+from repro.mapping.repository import XMLRepository
+from repro.schema.dtd import DTD
+
+MANIFEST_NAME = "manifest.json"
+DTD_NAME = "schema.dtd"
+
+
+def load_xml_document(text: str) -> Element:
+    """Parse serialized converted-XML back into an element tree.
+
+    The HTML parser accepts the XML subset the serializer emits but
+    lower-cases tags; converted documents carry upper-case concept tags,
+    which are restored here.
+    """
+    fragment = parse_fragment(text)
+    elements = fragment.element_children()
+    if not elements:
+        raise ValueError("no element found in XML text")
+    root = elements[-1]
+    root.detach()
+    for element in iter_elements(root):
+        element.tag = element.tag.upper()
+    return root
+
+
+def save_repository(repository: XMLRepository, directory: str | Path) -> Path:
+    """Write a repository to ``directory`` (created if needed)."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    (target / DTD_NAME).write_text(repository.dtd.render())
+    names = []
+    for index, document in enumerate(repository.documents):
+        name = f"doc{index:05d}.xml"
+        (target / name).write_text(to_xml_document(document))
+        names.append(name)
+    manifest = {
+        "format": "repro-xml-repository/1",
+        "root_name": repository.dtd.root_name,
+        "documents": names,
+        "stats": {
+            "documents": repository.stats.documents,
+            "conforming_on_arrival": repository.stats.conforming_on_arrival,
+            "repaired": repository.stats.repaired,
+            "rejected": repository.stats.rejected,
+            "total_repair_operations": repository.stats.total_repair_operations,
+        },
+    }
+    (target / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return target
+
+
+def load_repository(directory: str | Path) -> XMLRepository:
+    """Read a repository previously written by :func:`save_repository`.
+
+    Loaded documents are re-validated against the stored DTD; a document
+    that no longer conforms (external modification) raises
+    :class:`ValueError` rather than silently repairing it.
+    """
+    source = Path(directory)
+    manifest = json.loads((source / MANIFEST_NAME).read_text())
+    if manifest.get("format") != "repro-xml-repository/1":
+        raise ValueError(f"unrecognized repository format in {source}")
+    dtd = DTD.parse(
+        (source / DTD_NAME).read_text(), root_name=manifest["root_name"]
+    )
+    repository = XMLRepository(dtd)
+    from repro.mapping.validate import validate_document
+
+    for name in manifest["documents"]:
+        document = load_xml_document((source / name).read_text())
+        violations = validate_document(document, dtd)
+        if violations:
+            raise ValueError(
+                f"{name} no longer conforms to the stored DTD: {violations[0]}"
+            )
+        repository.documents.append(document)
+    stats = manifest.get("stats", {})
+    repository.stats.documents = stats.get("documents", len(repository.documents))
+    repository.stats.conforming_on_arrival = stats.get("conforming_on_arrival", 0)
+    repository.stats.repaired = stats.get("repaired", 0)
+    repository.stats.rejected = stats.get("rejected", 0)
+    repository.stats.total_repair_operations = stats.get(
+        "total_repair_operations", 0
+    )
+    return repository

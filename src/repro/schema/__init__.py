@@ -1,0 +1,51 @@
+"""Majority-schema discovery and DTD derivation (Section 3).
+
+* :mod:`repro.schema.paths` -- reduce XML trees to root-emanating label
+  paths with sibling-multiplicity and child-position bookkeeping.
+* :mod:`repro.schema.frequent` -- mine frequent paths under the
+  ``support``/``supportRatio`` thresholds, with constraint pruning.
+* :mod:`repro.schema.majority` -- the majority schema tree.
+* :mod:`repro.schema.ordering` -- the DTD ordering rule.
+* :mod:`repro.schema.repetition` -- the repetitive-elements rule.
+* :mod:`repro.schema.dtd` -- the DTD model and its derivation/rendering.
+* :mod:`repro.schema.dataguide` / :mod:`repro.schema.lowerbound` -- the
+  upper/lower-bound baselines the paper positions itself against.
+* :mod:`repro.schema.unify` -- unification of similar schema components
+  (the optional step deferred to [13]).
+"""
+
+from repro.schema.dataguide import build_dataguide
+from repro.schema.dtd import DTD, DTDElement, derive_dtd
+from repro.schema.diff import diff_schemas, schema_stability
+from repro.schema.frequent import FrequentPathSet, PathStatistics, mine_frequent_paths
+from repro.schema.homonyms import homonym_contexts, homonym_labels
+from repro.schema.index import PathIndex
+from repro.schema.lowerbound import build_lower_bound_schema
+from repro.schema.majority import MajoritySchema, SchemaNode
+from repro.schema.paths import DocumentPaths, LabelPath, extract_paths
+from repro.schema.patterns import GroupPattern, discover_group_patterns
+from repro.schema.unify import unify_schema
+
+__all__ = [
+    "LabelPath",
+    "DocumentPaths",
+    "extract_paths",
+    "PathStatistics",
+    "FrequentPathSet",
+    "mine_frequent_paths",
+    "MajoritySchema",
+    "SchemaNode",
+    "DTD",
+    "DTDElement",
+    "derive_dtd",
+    "build_dataguide",
+    "build_lower_bound_schema",
+    "unify_schema",
+    "PathIndex",
+    "GroupPattern",
+    "discover_group_patterns",
+    "diff_schemas",
+    "schema_stability",
+    "homonym_contexts",
+    "homonym_labels",
+]

@@ -1,0 +1,97 @@
+"""Schema comparison and drift measurement.
+
+The paper's Introduction motivates automatic approaches with the
+fragility of manual wrappers: "the format of the data may change over
+time.  Every change of format would require a new handcrafted wrapper."
+A majority schema, by contrast, can simply be re-discovered -- and this
+module quantifies how much it moved:
+
+* :func:`diff_schemas` -- structural delta between two majority schemas
+  (paths added, removed, and support drift on shared paths).
+* :func:`schema_stability` -- a similarity score in ``[0, 1]`` combining
+  path overlap and support agreement; re-discovering over disjoint
+  samples of the same corpus should score near 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.majority import MajoritySchema
+from repro.schema.paths import LabelPath
+
+
+@dataclass
+class SchemaDiff:
+    """Structural and statistical delta between two schemas."""
+
+    added: set[LabelPath] = field(default_factory=set)
+    removed: set[LabelPath] = field(default_factory=set)
+    common: set[LabelPath] = field(default_factory=set)
+    # path -> (old support, new support) where they differ materially
+    support_drift: dict[LabelPath, tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def is_identical(self) -> bool:
+        """True when no path was added or removed."""
+        return not self.added and not self.removed
+
+    @property
+    def path_jaccard(self) -> float:
+        """Jaccard similarity of the two path sets."""
+        union = len(self.added) + len(self.removed) + len(self.common)
+        return len(self.common) / union if union else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable delta."""
+        return (
+            f"+{len(self.added)} paths, -{len(self.removed)} paths, "
+            f"{len(self.common)} shared "
+            f"({len(self.support_drift)} with support drift)"
+        )
+
+
+def diff_schemas(
+    old: MajoritySchema,
+    new: MajoritySchema,
+    *,
+    drift_threshold: float = 0.1,
+) -> SchemaDiff:
+    """Compare two majority schemas.
+
+    ``drift_threshold`` is the minimum absolute support change on a
+    shared path to be reported as drift.
+    """
+    old_paths = old.paths()
+    new_paths = new.paths()
+    diff = SchemaDiff(
+        added=new_paths - old_paths,
+        removed=old_paths - new_paths,
+        common=old_paths & new_paths,
+    )
+    for path in diff.common:
+        before = old.frequent.support(path)
+        after = new.frequent.support(path)
+        if abs(before - after) >= drift_threshold:
+            diff.support_drift[path] = (before, after)
+    return diff
+
+
+def schema_stability(old: MajoritySchema, new: MajoritySchema) -> float:
+    """Similarity in ``[0, 1]``: path overlap weighted by support
+    agreement on the shared paths.
+
+    1.0 means identical path sets with identical supports; independent
+    samples of one corpus should land close to 1, while a corpus whose
+    authors changed format drifts toward 0.
+    """
+    diff = diff_schemas(old, new, drift_threshold=0.0)
+    if not diff.common:
+        return 0.0
+    agreement = sum(
+        1.0 - abs(old.frequent.support(p) - new.frequent.support(p))
+        for p in diff.common
+    ) / len(diff.common)
+    return diff.path_jaccard * agreement

@@ -1,0 +1,95 @@
+"""The majority schema: the tree of frequent paths (Section 3.2/3.3).
+
+"The set of frequent paths discovered constitute a majority schema for
+the XML documents."  The tree form ``TF`` maps straightforwardly from the
+prefix-closed frequent path set; each node carries its path's support so
+reports can show how common each structure is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.schema.frequent import FrequentPathSet
+from repro.schema.paths import LabelPath
+
+
+@dataclass
+class SchemaNode:
+    """One node of a schema tree (majority schema, DataGuide, ...)."""
+
+    label: str
+    path: LabelPath
+    support: float = 1.0
+    children: dict[str, "SchemaNode"] = field(default_factory=dict)
+
+    def child(self, label: str) -> "SchemaNode | None":
+        """The child with ``label``, or ``None``."""
+        return self.children.get(label)
+
+    def ensure_child(self, label: str, support: float = 1.0) -> "SchemaNode":
+        """Get or create the child with ``label``."""
+        node = self.children.get(label)
+        if node is None:
+            node = SchemaNode(label, self.path + (label,), support)
+            self.children[label] = node
+        return node
+
+    def iter_nodes(self) -> Iterator["SchemaNode"]:
+        """This node and all descendants, preorder."""
+        yield self
+        for child in self.children.values():
+            yield from child.iter_nodes()
+
+    def size(self) -> int:
+        """Number of nodes in this subtree."""
+        return sum(1 for _ in self.iter_nodes())
+
+
+@dataclass
+class MajoritySchema:
+    """A schema tree plus the mining context it came from."""
+
+    root: SchemaNode
+    frequent: FrequentPathSet
+
+    @classmethod
+    def from_frequent_paths(cls, frequent: FrequentPathSet) -> "MajoritySchema":
+        """Fold the (prefix-closed) frequent path set into a tree."""
+        if not frequent.paths:
+            raise ValueError("no frequent paths: thresholds too strict?")
+        root_labels = {path[0] for path in frequent.paths}
+        if len(root_labels) != 1:
+            raise ValueError(f"frequent paths have multiple roots: {root_labels}")
+        root_label = next(iter(root_labels))
+        root = SchemaNode(root_label, (root_label,), frequent.support((root_label,)))
+        for path in sorted(frequent.paths, key=len):
+            node = root
+            for label in path[1:]:
+                node = node.ensure_child(label, frequent.support(node.path + (label,)))
+        return cls(root, frequent)
+
+    def contains_path(self, path: LabelPath) -> bool:
+        """Whether ``path`` is part of the schema."""
+        return path in self.frequent.paths
+
+    def element_count(self) -> int:
+        """Number of element types (nodes) in the schema tree."""
+        return self.root.size()
+
+    def paths(self) -> set[LabelPath]:
+        """All label paths in the schema."""
+        return set(self.frequent.paths)
+
+    def describe(self) -> str:
+        """Human-readable indented rendering with supports."""
+        lines: list[str] = []
+
+        def render(node: SchemaNode, level: int) -> None:
+            lines.append(f"{'  ' * level}{node.label}  (support {node.support:.2f})")
+            for child in node.children.values():
+                render(child, level + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Label-path extraction from XML trees (Section 3.2).
+
+Two simplifications relative to [26] are adopted by the paper: paths are
+sequences of node *labels* (not node identifiers), and an ordered tree is
+reduced to a *set* of root-emanating paths -- "in order for the proposed
+schema discovery method not to be too biased towards multiple occurrences
+of the same path in only a very few documents".
+
+Alongside the path set, two cheap statistics are recorded per label path
+(both fall out of the same traversal, "recording the multiplicity of
+child nodes does not cause any computational overhead"):
+
+* the *multiplicity* ``<p, num>`` -- the largest number of same-label
+  siblings realizing the path's last step (drives the repetition rule);
+* the *average child position* of the path's last element among its
+  parent's element children (drives the ordering rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dom.node import Element
+
+# A root-emanating label path; index 0 is the root's label.
+LabelPath = tuple[str, ...]
+
+
+@dataclass
+class DocumentPaths:
+    """The path-set representation of one XML document."""
+
+    paths: set[LabelPath] = field(default_factory=set)
+    # label path -> max number of same-label siblings realizing its tail
+    multiplicity: dict[LabelPath, int] = field(default_factory=dict)
+    # label path -> average 0-based position among parent element children
+    avg_position: dict[LabelPath, float] = field(default_factory=dict)
+
+    def contains(self, path: LabelPath) -> bool:
+        """Whether the document realizes ``path``.
+
+        Path sets are prefix-closed, so membership of a prefix is plain
+        set membership.
+        """
+        return path in self.paths
+
+
+def extract_paths(root: Element) -> DocumentPaths:
+    """Reduce an XML tree to its :class:`DocumentPaths`.
+
+    Runs in one preorder traversal; every node contributes the label path
+    from the root to itself, so the resulting set is prefix-closed.
+    """
+    doc = DocumentPaths()
+    root_path: LabelPath = (root.tag,)
+    doc.paths.add(root_path)
+    doc.multiplicity[root_path] = 1
+    doc.avg_position[root_path] = 0.0
+
+    # positions accumulates (sum_of_positions, count) for averaging.
+    position_acc: dict[LabelPath, list[float]] = {}
+
+    stack: list[tuple[Element, LabelPath]] = [(root, root_path)]
+    while stack:
+        element, path = stack.pop()
+        children = element.element_children()
+        # Sibling multiplicity per label under this concrete node.
+        label_counts: dict[str, int] = {}
+        for child in children:
+            label_counts[child.tag] = label_counts.get(child.tag, 0) + 1
+        for position, child in enumerate(children):
+            child_path = path + (child.tag,)
+            doc.paths.add(child_path)
+            seen = doc.multiplicity.get(child_path, 0)
+            doc.multiplicity[child_path] = max(seen, label_counts[child.tag])
+            position_acc.setdefault(child_path, []).append(float(position))
+            stack.append((child, child_path))
+
+    for child_path, positions in position_acc.items():
+        doc.avg_position[child_path] = sum(positions) / len(positions)
+    return doc
+
+
+def extract_corpus_paths(roots: list[Element]) -> list[DocumentPaths]:
+    """Path sets for a corpus of XML documents."""
+    return [extract_paths(root) for root in roots]

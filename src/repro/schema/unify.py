@@ -1,0 +1,91 @@
+"""Unification of similarly structured schema components.
+
+Section 3.2 notes: "similarly structured components in a schema
+discovered by this approach can be further unified.  Because of space
+limitations, this optional step is not described in this paper but can be
+found in [13]."  This module implements the step in the form the DTD
+needs it: occurrences of the *same label* under different parents are
+structurally merged (so one element declaration covers all contexts), and
+sibling subtrees whose child-label sets are sufficiently similar (Jaccard
+similarity above a threshold) have their child sets unioned, smoothing
+out structures that differ only by a rarely missing child.
+"""
+
+from __future__ import annotations
+
+from repro.schema.majority import MajoritySchema, SchemaNode
+
+
+def jaccard(a: set[str], b: set[str]) -> float:
+    """Jaccard similarity of two label sets (1.0 for two empty sets)."""
+    if not a and not b:
+        return 1.0
+    union = a | b
+    return len(a & b) / len(union)
+
+
+def _merge_children(target: SchemaNode, source: SchemaNode) -> None:
+    """Union ``source``'s subtree into ``target`` (labels aligned)."""
+    for label, source_child in source.children.items():
+        target_child = target.children.get(label)
+        if target_child is None:
+            target_child = target.ensure_child(label, source_child.support)
+        else:
+            target_child.support = max(target_child.support, source_child.support)
+        _merge_children(target_child, source_child)
+
+
+def unify_same_label(schema: MajoritySchema) -> int:
+    """Merge the child structures of same-label nodes across contexts.
+
+    After this, every occurrence of a label in the schema tree exposes
+    the union of the children it had anywhere -- the invariant a DTD
+    requires.  Returns the number of labels that needed merging.
+    """
+    by_label: dict[str, list[SchemaNode]] = {}
+    for node in schema.root.iter_nodes():
+        by_label.setdefault(node.label, []).append(node)
+    merged = 0
+    for label, nodes in by_label.items():
+        if len(nodes) < 2:
+            continue
+        union = SchemaNode(label, nodes[0].path)
+        for node in nodes:
+            _merge_children(union, node)
+        changed = any(set(node.children) != set(union.children) for node in nodes)
+        for node in nodes:
+            _merge_children(node, union)
+        if changed:
+            merged += 1
+    return merged
+
+
+def unify_similar_siblings(schema: MajoritySchema, *, threshold: float = 0.6) -> int:
+    """Union the child sets of sibling subtrees with similar structure.
+
+    Two children of the same schema node whose child-label sets have
+    Jaccard similarity >= ``threshold`` (and are non-trivial: at least
+    one child each) get the union of both structures.  Returns the
+    number of sibling pairs unified.
+    """
+    unified = 0
+    for node in list(schema.root.iter_nodes()):
+        children = list(node.children.values())
+        for i, left in enumerate(children):
+            for right in children[i + 1 :]:
+                left_labels = set(left.children)
+                right_labels = set(right.children)
+                if not left_labels or not right_labels:
+                    continue
+                if jaccard(left_labels, right_labels) >= threshold and left_labels != right_labels:
+                    _merge_children(left, right)
+                    _merge_children(right, left)
+                    unified += 1
+    return unified
+
+
+def unify_schema(schema: MajoritySchema, *, sibling_threshold: float = 0.6) -> MajoritySchema:
+    """Apply both unification passes in place and return the schema."""
+    unify_similar_siblings(schema, threshold=sibling_threshold)
+    unify_same_label(schema)
+    return schema

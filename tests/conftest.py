@@ -1,0 +1,33 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concepts.resume_kb import build_resume_knowledge_base
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.generator import ResumeCorpusGenerator
+
+
+@pytest.fixture(scope="session")
+def kb():
+    """The resume knowledge base (expensive to rebuild per test)."""
+    return build_resume_knowledge_base()
+
+
+@pytest.fixture(scope="session")
+def converter(kb):
+    """A ready document converter with compiled matcher."""
+    return DocumentConverter(kb)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """Ten generated resumes (deterministic)."""
+    return ResumeCorpusGenerator(seed=1966).generate(10)
+
+
+@pytest.fixture(scope="session")
+def converted_corpus(converter, small_corpus):
+    """The ten resumes converted to XML trees."""
+    return [converter.convert(doc.html) for doc in small_corpus]

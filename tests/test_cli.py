@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gen_corpus_defaults(self):
+        args = build_parser().parse_args(["gen-corpus"])
+        assert args.count == 50
+        assert args.seed == 1966
+
+    def test_discover_thresholds(self):
+        args = build_parser().parse_args(["discover", "a.xml", "--sup", "0.7"])
+        assert args.sup == 0.7
+        assert args.files == ["a.xml"]
+
+
+class TestCommands:
+    def test_gen_corpus_writes_files(self, tmp_path):
+        out = tmp_path / "corpus"
+        assert main(["gen-corpus", "--count", "3", "--out", str(out)]) == 0
+        files = sorted(out.glob("*.html"))
+        assert len(files) == 3
+        assert "<html>" in files[0].read_text()
+
+    def test_html2xml_converts(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        main(["gen-corpus", "--count", "2", "--out", str(corpus)])
+        xml_out = tmp_path / "xml"
+        files = [str(p) for p in sorted(corpus.glob("*.html"))]
+        assert main(["html2xml", *files, "--out", str(xml_out)]) == 0
+        xml_files = sorted(xml_out.glob("*.xml"))
+        assert len(xml_files) == 2
+        assert "<RESUME" in xml_files[0].read_text()
+
+    def test_discover_pipeline(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        main(["gen-corpus", "--count", "8", "--out", str(corpus)])
+        xml_out = tmp_path / "xml"
+        files = [str(p) for p in sorted(corpus.glob("*.html"))]
+        main(["html2xml", *files, "--out", str(xml_out)])
+        capsys.readouterr()
+        xml_files = [str(p) for p in sorted(xml_out.glob("*.xml"))]
+        assert main(["discover", *xml_files, "--sup", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT resume" in out
+        assert "RESUME" in out
+
+    def test_discover_empty_input_fails(self, tmp_path):
+        empty = tmp_path / "empty.xml"
+        empty.write_text("")
+        assert main(["discover", str(empty)]) == 1
+
+    def test_evaluate_prints_paper_table(self, capsys):
+        assert main(["evaluate", "--docs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy %" in out
+        assert "90.8" in out  # the paper column
+
+    def test_discover_with_patterns_flag(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        main(["gen-corpus", "--count", "6", "--out", str(corpus)])
+        xml_out = tmp_path / "xml"
+        files = [str(p) for p in sorted(corpus.glob("*.html"))]
+        main(["html2xml", *files, "--out", str(xml_out)])
+        capsys.readouterr()
+        xml_files = [str(p) for p in sorted(xml_out.glob("*.xml"))]
+        assert main(["discover", *xml_files, "--patterns"]) == 0
+        assert "<!ELEMENT resume" in capsys.readouterr().out
+
+    def test_integrate_and_inspect(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        main(["gen-corpus", "--count", "8", "--out", str(corpus)])
+        xml_out = tmp_path / "xml"
+        files = [str(p) for p in sorted(corpus.glob("*.html"))]
+        main(["html2xml", *files, "--out", str(xml_out)])
+        xml_files = [str(p) for p in sorted(xml_out.glob("*.xml"))]
+        store = tmp_path / "store"
+        assert main(["integrate", *xml_files, "--out", str(store)]) == 0
+        assert (store / "manifest.json").exists()
+        capsys.readouterr()
+        assert main(["inspect", str(store), "--query", "RESUME//DEGREE"]) == 0
+        out = capsys.readouterr().out
+        assert "8 documents" in out
+        assert "<!ELEMENT resume" in out
+
+    def test_crawl_reports_metrics(self, capsys, tmp_path):
+        out_dir = tmp_path / "crawled"
+        assert (
+            main(
+                [
+                    "crawl",
+                    "--resumes", "5",
+                    "--noise", "15",
+                    "--out", str(out_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert len(list(out_dir.glob("*.xml"))) == 5

@@ -1,0 +1,70 @@
+"""Tests for concepts and concept instances."""
+
+import pytest
+
+from repro.concepts.concept import Concept, ConceptInstance, ConceptRole
+
+
+class TestConceptInstance:
+    def test_keyword_matches_case_insensitively(self):
+        inst = ConceptInstance("University")
+        assert inst.compile().search("at the UNIVERSITY of X")
+
+    def test_keyword_respects_word_boundaries(self):
+        inst = ConceptInstance("date")
+        assert inst.compile().search("the date is") is not None
+        assert inst.compile().search("candidate") is None
+        assert inst.compile().search("dates") is None
+
+    def test_punctuation_keyword_matches(self):
+        inst = ConceptInstance("c++")
+        assert inst.compile().search("knows C++ well")
+
+    def test_regex_instance(self):
+        inst = ConceptInstance(r"\b(19|20)\d{2}\b", is_regex=True)
+        assert inst.compile().search("June 1996")
+        assert inst.compile().search("no year here") is None
+
+
+class TestConcept:
+    def test_name_becomes_instance(self):
+        c = Concept("education")
+        assert any(i.pattern == "education" for i in c.instances)
+
+    def test_name_instance_not_duplicated(self):
+        c = Concept("education", [ConceptInstance("Education")])
+        names = [i.pattern.lower() for i in c.instances if not i.is_regex]
+        assert names.count("education") == 1
+
+    def test_tag_is_uppercase(self):
+        assert Concept("job-title").tag == "JOB-TITLE"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Concept("9bad")
+        with pytest.raises(ValueError):
+            Concept("")
+        with pytest.raises(ValueError):
+            Concept("has space")
+
+    def test_add_keyword_and_pattern(self):
+        c = Concept("date")
+        base = c.instance_count()
+        c.add_keyword("present")
+        c.add_pattern(r"\d{4}")
+        assert c.instance_count() == base + 2
+
+    def test_default_role_is_content(self):
+        assert Concept("x").role is ConceptRole.CONTENT
+
+    def test_first_match_prefers_leftmost_longest(self):
+        c = Concept(
+            "degree",
+            [ConceptInstance("master"), ConceptInstance("master of science")],
+        )
+        m = c.first_match("a master of science degree")
+        assert m is not None
+        assert m.group(0) == "master of science"
+
+    def test_first_match_none(self):
+        assert Concept("gpa").first_match("nothing here") is None

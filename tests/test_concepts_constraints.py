@@ -1,0 +1,121 @@
+"""Tests for concept constraints."""
+
+import pytest
+
+from repro.concepts.constraints import (
+    ConstraintSet,
+    DepthConstraint,
+    ParentConstraint,
+    SiblingConstraint,
+)
+
+
+class TestParentConstraint:
+    def test_satisfied_when_parent_above(self):
+        c = ParentConstraint("EDUCATION", "DATE")
+        assert c.satisfied_by_path(("EDUCATION", "DATE"))
+        assert c.satisfied_by_path(("EDUCATION", "DEGREE", "DATE"))
+
+    def test_violated_when_order_reversed(self):
+        c = ParentConstraint("EDUCATION", "DATE")
+        assert not c.satisfied_by_path(("DATE", "EDUCATION"))
+
+    def test_vacuous_when_either_absent(self):
+        c = ParentConstraint("EDUCATION", "DATE")
+        assert c.satisfied_by_path(("SKILLS",))
+        assert c.satisfied_by_path(("EDUCATION",))
+
+    def test_negated(self):
+        c = ParentConstraint("DATE", "EDUCATION", negated=True)
+        assert not c.satisfied_by_path(("DATE", "EDUCATION"))
+        assert c.satisfied_by_path(("EDUCATION", "DATE"))
+
+
+class TestSiblingConstraint:
+    def test_positive_allows(self):
+        c = SiblingConstraint("DEGREE", "INSTITUTION")
+        assert c.allows_pair("DEGREE", "INSTITUTION")
+        assert c.allows_pair("INSTITUTION", "DEGREE")
+
+    def test_negated_forbids(self):
+        c = SiblingConstraint("RESUME", "RESUME", negated=True)
+        assert not c.allows_pair("RESUME", "RESUME")
+
+    def test_unmentioned_pairs_allowed(self):
+        c = SiblingConstraint("A", "B", negated=True)
+        assert c.allows_pair("A", "C")
+        assert c.allows_pair("C", "D")
+
+
+class TestDepthConstraint:
+    def test_equality(self):
+        c = DepthConstraint("EDUCATION", "=", 1)
+        assert c.allows_depth(1)
+        assert not c.allows_depth(2)
+
+    def test_greater(self):
+        c = DepthConstraint("DATE", ">", 1)
+        assert not c.allows_depth(1)
+        assert c.allows_depth(2)
+
+    def test_less(self):
+        c = DepthConstraint("X", "<", 3)
+        assert c.allows_depth(2)
+        assert not c.allows_depth(3)
+
+    def test_negated(self):
+        c = DepthConstraint("X", "=", 2, negated=True)
+        assert not c.allows_depth(2)
+        assert c.allows_depth(1)
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValueError):
+            DepthConstraint("X", ">=", 1)
+
+
+class TestConstraintSet:
+    def test_empty_set_allows_everything(self):
+        cs = ConstraintSet()
+        assert cs.is_empty()
+        assert cs.allows_path(("A", "B", "A", "C"))
+
+    def test_no_repeat_on_path(self):
+        cs = ConstraintSet(no_repeat_on_path=True)
+        assert cs.allows_path(("A", "B"))
+        assert not cs.allows_path(("A", "B", "A"))
+
+    def test_max_depth(self):
+        cs = ConstraintSet(max_depth=2)
+        assert cs.allows_path(("A", "B"))
+        assert not cs.allows_path(("A", "B", "C"))
+
+    def test_depth_constraints_consulted(self):
+        cs = ConstraintSet()
+        cs.add_depth("TITLE", "=", 1)
+        assert cs.allows_path(("TITLE", "X"))
+        assert not cs.allows_path(("X", "TITLE"))
+
+    def test_parent_constraints_consulted(self):
+        cs = ConstraintSet()
+        cs.add_parent("EDUCATION", "GPA")
+        assert cs.allows_path(("EDUCATION", "GPA"))
+        assert not cs.allows_path(("GPA", "EDUCATION"))
+
+    def test_sibling_pair_check(self):
+        cs = ConstraintSet()
+        cs.add_sibling("A", "B", negated=True)
+        assert not cs.allows_sibling_pair("A", "B")
+        assert cs.allows_sibling_pair("A", "C")
+
+    def test_allows_depth_merges_max_depth(self):
+        cs = ConstraintSet(max_depth=3)
+        cs.add_depth("X", ">", 1)
+        assert not cs.allows_depth("X", 1)
+        assert cs.allows_depth("X", 2)
+        assert not cs.allows_depth("X", 4)
+
+    def test_is_empty_false_with_any_constraint(self):
+        assert not ConstraintSet(max_depth=1).is_empty()
+        cs = ConstraintSet()
+        cs.add_sibling("A", "B")
+        assert not cs.is_empty()

@@ -1,0 +1,119 @@
+"""Tests for the knowledge base container."""
+
+import pytest
+
+from repro.concepts.concept import Concept, ConceptRole
+from repro.concepts.constraints import ConstraintSet
+from repro.concepts.knowledge import KnowledgeBase
+
+
+def make_kb():
+    kb = KnowledgeBase("topic")
+    kb.add(Concept("education", role=ConceptRole.TITLE))
+    kb.add(Concept("date"))
+    return kb
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        kb = make_kb()
+        assert kb.get("education").name == "education"
+
+    def test_case_insensitive_lookup(self):
+        kb = make_kb()
+        assert kb.get("EDUCATION").name == "education"
+        assert "Education" in kb
+
+    def test_duplicate_rejected(self):
+        kb = make_kb()
+        with pytest.raises(ValueError):
+            kb.add(Concept("Education"))
+
+    def test_len_and_iter(self):
+        kb = make_kb()
+        assert len(kb) == 2
+        assert [c.name for c in kb] == ["education", "date"]
+
+    def test_concept_tags(self):
+        kb = make_kb()
+        assert kb.concept_tags() == {"EDUCATION", "DATE"}
+
+    def test_by_role(self):
+        kb = make_kb()
+        assert [c.name for c in kb.by_role(ConceptRole.TITLE)] == ["education"]
+        assert [c.name for c in kb.by_role(ConceptRole.CONTENT)] == ["date"]
+
+    def test_concept_for_tag(self):
+        kb = make_kb()
+        assert kb.concept_for_tag("DATE").name == "date"
+        assert kb.concept_for_tag("NOPE") is None
+
+    def test_total_instances(self):
+        kb = make_kb()
+        # each concept has at least its own name instance
+        assert kb.total_instances() == 2
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        kb = make_kb()
+        kb.get("date").add_pattern(r"\d{4}")
+        kb.constraints.add_depth("EDUCATION", "=", 1)
+        kb.constraints.add_parent("EDUCATION", "DATE", negated=True)
+        kb.constraints.add_sibling("DATE", "DATE")
+        kb.constraints.no_repeat_on_path = True
+        kb.constraints.max_depth = 4
+
+        restored = KnowledgeBase.from_json(kb.to_json())
+
+        assert restored.topic == "topic"
+        assert len(restored) == 2
+        assert restored.get("date").instance_count() == kb.get("date").instance_count()
+        assert restored.get("education").role is ConceptRole.TITLE
+        assert restored.constraints.no_repeat_on_path is True
+        assert restored.constraints.max_depth == 4
+        assert len(restored.constraints.parents) == 1
+        assert restored.constraints.parents[0].negated is True
+        assert len(restored.constraints.depths) == 1
+        assert len(restored.constraints.siblings) == 1
+
+    def test_regex_flag_round_trips(self):
+        kb = make_kb()
+        kb.get("date").add_pattern(r"\d{4}")
+        restored = KnowledgeBase.from_json(kb.to_json())
+        patterns = [i for i in restored.get("date").instances if i.is_regex]
+        assert len(patterns) == 1
+
+    def test_from_dict_defaults(self):
+        kb = KnowledgeBase.from_dict({"topic": "t", "concepts": []})
+        assert kb.topic == "t"
+        assert len(kb) == 0
+        assert kb.constraints.is_empty()
+
+
+class TestResumeKB:
+    def test_paper_counts(self, kb):
+        """Section 4: 24 concepts, 233 instances."""
+        assert len(kb) == 24
+        assert kb.total_instances() == 233
+
+    def test_title_content_split(self, kb):
+        """Section 4.2: 11 title names, 13 content names."""
+        assert len(kb.by_role(ConceptRole.TITLE)) == 11
+        assert len(kb.by_role(ConceptRole.CONTENT)) == 13
+
+    def test_constraints_shape(self, kb):
+        assert kb.constraints.no_repeat_on_path
+        assert kb.constraints.max_depth == 4
+        assert len(kb.constraints.depths) == 24
+
+    def test_title_concepts_pinned_to_depth_one(self, kb):
+        assert kb.constraints.allows_depth("EDUCATION", 1)
+        assert not kb.constraints.allows_depth("EDUCATION", 2)
+        assert not kb.constraints.allows_depth("DATE", 1)
+        assert kb.constraints.allows_depth("DATE", 2)
+
+    def test_serialization_round_trip(self, kb):
+        restored = KnowledgeBase.from_json(kb.to_json())
+        assert len(restored) == 24
+        assert restored.total_instances() == 233

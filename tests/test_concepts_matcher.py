@@ -1,0 +1,78 @@
+"""Tests for the synonym matcher."""
+
+import pytest
+
+from repro.concepts.concept import Concept, ConceptInstance
+from repro.concepts.knowledge import KnowledgeBase
+from repro.concepts.matcher import SynonymMatcher
+
+
+@pytest.fixture()
+def matcher():
+    kb = KnowledgeBase("test")
+    kb.add(Concept("institution", [ConceptInstance("University"), ConceptInstance("College")]))
+    kb.add(Concept("degree", [ConceptInstance("B.S."), ConceptInstance("bachelor of science")]))
+    kb.add(
+        Concept(
+            "date",
+            [ConceptInstance(r"\b(June|July)\s+\d{4}\b", is_regex=True)],
+        )
+    )
+    return SynonymMatcher(kb)
+
+
+class TestFindAll:
+    def test_single_match(self, matcher):
+        matches = matcher.find_all("Stanford University")
+        assert len(matches) == 1
+        assert matches[0].concept_tag == "INSTITUTION"
+        assert matches[0].matched_text == "University"
+
+    def test_multiple_matches_in_order(self, matcher):
+        matches = matcher.find_all("University of X, B.S., June 1996")
+        assert [m.concept_tag for m in matches] == ["INSTITUTION", "DEGREE", "DATE"]
+        assert matches[0].start < matches[1].start < matches[2].start
+
+    def test_no_match(self, matcher):
+        assert matcher.find_all("nothing relevant") == []
+
+    def test_overlapping_prefers_longer(self, matcher):
+        # "bachelor of science" contains no "University"; craft overlap:
+        kb = KnowledgeBase("t")
+        kb.add(Concept("a", [ConceptInstance("new york")]))
+        kb.add(Concept("b", [ConceptInstance("york")]))
+        m = SynonymMatcher(kb)
+        matches = m.find_all("in new york city")
+        assert len(matches) == 1
+        assert matches[0].concept_tag == "A"
+
+    def test_non_overlapping_both_kept(self, matcher):
+        matches = matcher.find_all("University and College")
+        assert len(matches) == 2
+
+    def test_regex_and_keyword_mix(self, matcher):
+        matches = matcher.find_all("June 1996 at the University")
+        assert {m.concept_tag for m in matches} == {"DATE", "INSTITUTION"}
+
+
+class TestFindBestAndClassify:
+    def test_best_is_longest(self, matcher):
+        best = matcher.find_best("bachelor of science from University")
+        assert best is not None
+        assert best.concept_tag == "DEGREE"
+
+    def test_classify_returns_tag(self, matcher):
+        assert matcher.classify("College of Arts") == "INSTITUTION"
+
+    def test_classify_none(self, matcher):
+        assert matcher.classify("plain text") is None
+
+    def test_specificity(self, matcher):
+        match = matcher.find_all("B.S.")[0]
+        assert match.specificity == len("B.S.")
+
+
+class TestDeterminism:
+    def test_stable_output(self, matcher):
+        text = "University of X, B.S., June 1996, College"
+        assert matcher.find_all(text) == matcher.find_all(text)

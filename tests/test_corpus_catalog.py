@@ -1,0 +1,136 @@
+"""Tests for the product-catalog domain (the Section 5 broader topic)."""
+
+import random
+
+import pytest
+
+from repro.concepts.catalog_kb import build_catalog_knowledge_base
+from repro.concepts.concept import ConceptRole
+from repro.corpus.catalog import (
+    CATALOG_STYLES,
+    CatalogCorpusGenerator,
+    build_catalog_ground_truth,
+    sample_catalog,
+)
+from repro.convert.pipeline import DocumentConverter
+from repro.dom.treeops import deep_equal, iter_elements
+from repro.htmlparse.parser import parse_html
+
+
+@pytest.fixture(scope="module")
+def catalog_kb():
+    return build_catalog_knowledge_base()
+
+
+@pytest.fixture(scope="module")
+def catalog_converter(catalog_kb):
+    return DocumentConverter(catalog_kb)
+
+
+class TestCatalogKB:
+    def test_counts(self, catalog_kb):
+        assert len(catalog_kb) == 12
+        assert len(catalog_kb.by_role(ConceptRole.TITLE)) == 4
+        assert len(catalog_kb.by_role(ConceptRole.CONTENT)) == 8
+
+    def test_price_pattern(self, catalog_kb):
+        assert catalog_kb.get("price").first_match("only $1,299.99 today")
+
+    def test_sku_pattern(self, catalog_kb):
+        assert catalog_kb.get("sku").first_match("order BL-53403 now")
+
+    def test_serialization_round_trip(self, catalog_kb):
+        from repro.concepts.knowledge import KnowledgeBase
+
+        restored = KnowledgeBase.from_json(catalog_kb.to_json())
+        assert len(restored) == 12
+
+
+class TestCatalogCorpus:
+    def test_sampling_deterministic(self):
+        a = sample_catalog(random.Random(3))
+        b = sample_catalog(random.Random(3))
+        assert a == b
+
+    def test_products_well_formed(self):
+        data = sample_catalog(random.Random(4))
+        assert 3 <= len(data.products) <= 7
+        for product in data.products:
+            assert product.sku and product.price.startswith("$")
+
+    def test_generator_deterministic(self):
+        a = CatalogCorpusGenerator(seed=5).generate_one(3)
+        b = CatalogCorpusGenerator(seed=5).generate_one(3)
+        assert a.html == b.html
+        assert deep_equal(a.ground_truth, b.ground_truth)
+
+    def test_all_styles_produced(self):
+        docs = CatalogCorpusGenerator(seed=5).generate(30)
+        assert {d.style_name for d in docs} == set(CATALOG_STYLES)
+
+    @pytest.mark.parametrize("style_name", sorted(CATALOG_STYLES))
+    def test_every_style_parses(self, style_name):
+        style = CATALOG_STYLES[style_name]
+        data = sample_catalog(random.Random(7))
+        html = style.render(data, random.Random(7))
+        text = parse_html(html).inner_text()
+        assert data.products[0].sku in text
+
+    def test_ground_truth_shape(self, catalog_kb):
+        doc = CatalogCorpusGenerator(seed=5).generate_one(0)
+        assert doc.ground_truth.tag == "CATALOG"
+        tags = {el.tag for el in iter_elements(doc.ground_truth)}
+        assert tags <= catalog_kb.concept_tags()
+
+    def test_truth_reflects_product_heading_flag(self):
+        data = sample_catalog(random.Random(9))
+        with_heading = build_catalog_ground_truth(
+            data, CATALOG_STYLES["catalog-headings"]
+        )
+        without = build_catalog_ground_truth(data, CATALOG_STYLES["catalog-table"])
+        assert any(c.tag == "PRODUCT" for c in with_heading.element_children())
+        assert not any(c.tag == "PRODUCT" for c in without.element_children())
+
+
+class TestCatalogConversion:
+    def test_accuracy_on_catalogs(self, catalog_converter):
+        """The framework ports to the broader topic with high accuracy
+        (catalogs are more regular than resumes)."""
+        from repro.evaluation.accuracy import evaluate_accuracy
+
+        docs = CatalogCorpusGenerator(seed=5).generate(15)
+        pairs = [
+            (catalog_converter.convert(d.html).root, d.ground_truth)
+            for d in docs
+        ]
+        report = evaluate_accuracy(pairs)
+        assert report.accuracy > 90.0
+
+    def test_only_catalog_concepts_in_output(self, catalog_converter, catalog_kb):
+        doc = CatalogCorpusGenerator(seed=5).generate_one(1)
+        result = catalog_converter.convert(doc.html)
+        tags = {el.tag for el in iter_elements(result.root)}
+        assert tags <= catalog_kb.concept_tags()
+
+    def test_schema_discovery_on_catalogs(self, catalog_converter, catalog_kb):
+        from repro.schema.dtd import derive_dtd
+        from repro.schema.frequent import mine_frequent_paths
+        from repro.schema.majority import MajoritySchema
+        from repro.schema.paths import extract_paths
+
+        docs = CatalogCorpusGenerator(seed=5).generate(20)
+        documents = [
+            extract_paths(catalog_converter.convert(d.html).root) for d in docs
+        ]
+        frequent = mine_frequent_paths(
+            documents,
+            sup_threshold=0.4,
+            constraints=catalog_kb.constraints,
+            candidate_labels=catalog_kb.concept_tags(),
+        )
+        schema = MajoritySchema.from_frequent_paths(frequent)
+        assert schema.root.label == "CATALOG"
+        dtd = derive_dtd(schema, documents)
+        assert dtd.root_name == "catalog"
+        assert "price" in dtd.elements
+        assert "sku" in dtd.elements

@@ -1,0 +1,138 @@
+"""Tests for the synthetic resume corpus."""
+
+import pytest
+
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.corpus.model import sample_resume
+from repro.corpus.styles import STYLES
+from repro.dom.treeops import deep_equal, iter_elements
+from repro.htmlparse.parser import parse_html
+
+import random
+
+
+class TestDataModel:
+    def test_sampling_deterministic(self):
+        a = sample_resume(random.Random(1))
+        b = sample_resume(random.Random(1))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = sample_resume(random.Random(1))
+        b = sample_resume(random.Random(2))
+        assert a != b
+
+    def test_required_sections_present(self):
+        data = sample_resume(random.Random(3))
+        sections = data.section_names()
+        assert "contact" in sections
+        assert "education" in sections
+        assert "experience" in sections
+        assert "skills" in sections
+
+    def test_education_entries_well_formed(self):
+        data = sample_resume(random.Random(4))
+        for entry in data.education:
+            assert entry.institution
+            assert entry.degree
+            assert entry.date.split()[-1].isdigit()
+
+    def test_courses_carry_terms(self):
+        for seed in range(20):
+            data = sample_resume(random.Random(seed))
+            for course in data.courses:
+                term = course.rsplit(", ", 1)[-1]
+                season, year = term.split()
+                assert season in ("Spring", "Summer", "Fall", "Winter")
+                assert year.isdigit()
+
+
+class TestGenerator:
+    def test_deterministic_per_doc_id(self):
+        g1 = ResumeCorpusGenerator(seed=9)
+        g2 = ResumeCorpusGenerator(seed=9)
+        a = g1.generate_one(5)
+        b = g2.generate_one(5)
+        assert a.html == b.html
+        assert a.style_name == b.style_name
+        assert deep_equal(a.ground_truth, b.ground_truth)
+
+    def test_doc_id_independent_of_batch(self):
+        g = ResumeCorpusGenerator(seed=9)
+        batch = g.generate(10)
+        solo = g.generate_one(7)
+        assert batch[7].html == solo.html
+
+    def test_seed_changes_output(self):
+        a = ResumeCorpusGenerator(seed=1).generate_one(0)
+        b = ResumeCorpusGenerator(seed=2).generate_one(0)
+        assert a.html != b.html
+
+    def test_all_styles_used_eventually(self):
+        docs = ResumeCorpusGenerator(seed=9).generate(60)
+        assert {d.style_name for d in docs} == set(STYLES)
+
+    def test_style_weights_respected(self):
+        gen = ResumeCorpusGenerator(
+            seed=9, style_weights={"table": 1.0} | {s: 0.0 for s in STYLES if s != "table"}
+        )
+        docs = gen.generate(10)
+        assert all(d.style_name == "table" for d in docs)
+
+    def test_generate_html_matches_generate(self):
+        gen = ResumeCorpusGenerator(seed=9)
+        assert gen.generate_html(3) == [d.html for d in gen.generate(3)]
+
+    def test_no_styles_rejected(self):
+        with pytest.raises(ValueError):
+            ResumeCorpusGenerator(styles={})
+
+
+class TestRenderedHtml:
+    @pytest.mark.parametrize("style_name", sorted(STYLES))
+    def test_every_style_parses(self, style_name):
+        gen = ResumeCorpusGenerator(
+            seed=11,
+            style_weights={style_name: 1.0}
+            | {s: 0.0 for s in STYLES if s != style_name},
+        )
+        doc = gen.generate_one(0)
+        parsed = parse_html(doc.html)
+        text = parsed.inner_text()
+        assert doc.data.name.split()[0] in text
+
+    @pytest.mark.parametrize("style_name", sorted(STYLES))
+    def test_every_style_contains_section_content(self, style_name):
+        gen = ResumeCorpusGenerator(
+            seed=12,
+            style_weights={style_name: 1.0}
+            | {s: 0.0 for s in STYLES if s != style_name},
+        )
+        doc = gen.generate_one(1)
+        for entry in doc.data.education:
+            assert entry.institution in doc.html
+
+
+class TestGroundTruth:
+    def test_truth_root_is_resume(self):
+        doc = ResumeCorpusGenerator(seed=13).generate_one(0)
+        assert doc.ground_truth.tag == "RESUME"
+
+    def test_truth_sections_match_data(self):
+        doc = ResumeCorpusGenerator(seed=13).generate_one(0)
+        truth_sections = [c.tag for c in doc.ground_truth.element_children()]
+        expected = [s.upper() for s in doc.data.section_names()]
+        assert truth_sections == expected
+
+    def test_truth_education_entry_count(self):
+        doc = ResumeCorpusGenerator(seed=13).generate_one(0)
+        education = [
+            c for c in doc.ground_truth.element_children() if c.tag == "EDUCATION"
+        ]
+        if education:
+            assert len(education[0].element_children()) == len(doc.data.education)
+
+    def test_truth_uses_only_concept_tags(self, kb):
+        doc = ResumeCorpusGenerator(seed=13).generate_one(2)
+        tags = {el.tag for el in iter_elements(doc.ground_truth)}
+        assert tags <= kb.concept_tags()

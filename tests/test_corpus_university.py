@@ -1,0 +1,98 @@
+"""Tests for the university-directory domain (Section 5's other broad topic)."""
+
+import random
+
+import pytest
+
+from repro.convert.pipeline import DocumentConverter
+from repro.corpus.university import (
+    DirectoryCorpusGenerator,
+    build_university_knowledge_base,
+    render_directory,
+    sample_directory,
+)
+from repro.dom.treeops import deep_equal, iter_elements
+
+
+@pytest.fixture(scope="module")
+def univ_kb():
+    return build_university_knowledge_base()
+
+
+@pytest.fixture(scope="module")
+def univ_converter(univ_kb):
+    return DocumentConverter(univ_kb)
+
+
+class TestDomain:
+    def test_kb_shape(self, univ_kb):
+        assert len(univ_kb) == 9
+        assert univ_kb.get("phone").first_match("(530) 752-1234")
+        assert univ_kb.get("office").first_match("Room 3051")
+        assert univ_kb.get("office").first_match("2063 Kemper Hall")
+
+    def test_sampling_deterministic(self):
+        assert sample_directory(random.Random(2)) == sample_directory(random.Random(2))
+
+    def test_generator_deterministic(self):
+        a = DirectoryCorpusGenerator(seed=4).generate_one(1)
+        b = DirectoryCorpusGenerator(seed=4).generate_one(1)
+        assert a.html == b.html
+        assert deep_equal(a.ground_truth, b.ground_truth)
+
+    def test_rendering_contains_entries(self):
+        data = sample_directory(random.Random(3))
+        html = render_directory(data, random.Random(3))
+        for entry in data.entries:
+            assert entry.email in html
+
+    def test_ground_truth_uses_only_kb_tags(self, univ_kb):
+        doc = DirectoryCorpusGenerator(seed=4).generate_one(0)
+        tags = {el.tag for el in iter_elements(doc.ground_truth)}
+        assert tags <= univ_kb.concept_tags()
+
+
+class TestConversion:
+    def test_accuracy(self, univ_converter):
+        from repro.evaluation.accuracy import evaluate_accuracy
+
+        docs = DirectoryCorpusGenerator(seed=4).generate(12)
+        pairs = [
+            (univ_converter.convert(d.html).root, d.ground_truth) for d in docs
+        ]
+        report = evaluate_accuracy(pairs)
+        assert report.accuracy > 88.0
+
+    def test_faculty_records_recovered(self, univ_converter):
+        from repro.dom.path import find_all
+
+        doc = DirectoryCorpusGenerator(seed=4).generate_one(0)
+        result = univ_converter.convert(doc.html)
+        faculty = find_all(result.root, "DIRECTORY/FACULTY")
+        assert len(faculty) == len(doc.data.entries)
+        emails = find_all(result.root, "DIRECTORY/FACULTY//EMAIL")
+        assert len(emails) == len(doc.data.entries)
+
+    def test_schema_and_dtd(self, univ_converter, univ_kb):
+        from repro.schema.dtd import derive_dtd
+        from repro.schema.frequent import mine_frequent_paths
+        from repro.schema.majority import MajoritySchema
+        from repro.schema.paths import extract_paths
+
+        docs = DirectoryCorpusGenerator(seed=4).generate(15)
+        documents = [
+            extract_paths(univ_converter.convert(d.html).root) for d in docs
+        ]
+        schema = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(
+                documents,
+                sup_threshold=0.4,
+                constraints=univ_kb.constraints,
+                candidate_labels=univ_kb.concept_tags(),
+            )
+        )
+        dtd = derive_dtd(schema, documents)
+        assert dtd.root_name == "directory"
+        assert "faculty" in dtd.elements
+        faculty = dtd.element("faculty")
+        assert faculty.particles  # entries carry structure

@@ -1,0 +1,97 @@
+"""Tests for the simulated web and topic crawler."""
+
+import pytest
+
+from repro.corpus.crawler import TopicCrawler
+from repro.corpus.web import SimulatedWeb
+
+
+@pytest.fixture(scope="module")
+def web():
+    return SimulatedWeb(resume_count=15, noise_count=45, seed=3)
+
+
+class TestSimulatedWeb:
+    def test_page_counts(self, web):
+        assert len(web) == 60
+        assert len(web.resume_urls()) == 15
+
+    def test_fetch_known_and_unknown(self, web):
+        url = next(iter(web.resume_urls()))
+        assert web.fetch(url) is not None
+        assert web.fetch("http://nowhere.example/") is None
+
+    def test_every_page_has_links(self, web):
+        for page in web.pages.values():
+            assert 2 <= len(page.links) <= 6
+            for link in page.links:
+                assert link in web.pages
+
+    def test_no_self_links(self, web):
+        for url, page in web.pages.items():
+            assert url not in page.links
+
+    def test_resume_pages_carry_resume_html(self, web):
+        url = next(iter(web.resume_urls()))
+        page = web.fetch(url)
+        assert page.is_resume
+        assert page.resume is not None
+        assert page.resume.data.name.split()[0] in page.html
+
+    def test_noise_pages_rendered(self, web):
+        noise = [p for p in web.pages.values() if not p.is_resume]
+        assert noise
+        assert all("<html>" in p.html for p in noise)
+
+    def test_deterministic(self):
+        a = SimulatedWeb(resume_count=5, noise_count=10, seed=4)
+        b = SimulatedWeb(resume_count=5, noise_count=10, seed=4)
+        assert {u: p.html for u, p in a.pages.items()} == {
+            u: p.html for u, p in b.pages.items()
+        }
+
+    def test_requires_resumes(self):
+        with pytest.raises(ValueError):
+            SimulatedWeb(resume_count=0)
+
+
+class TestTopicCrawler:
+    def test_scoring_separates_topics(self, web):
+        crawler = TopicCrawler(web)
+        resume_url = next(iter(web.resume_urls()))
+        noise_url = next(u for u in web.pages if u not in web.resume_urls())
+        assert crawler.score(web.fetch(resume_url).html) >= 3
+        assert crawler.score(web.fetch(noise_url).html) < 3
+
+    def test_full_crawl_finds_all_resumes(self, web):
+        report = TopicCrawler(web).crawl()
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        assert len(report.collected) == 15
+
+    def test_max_pages_budget(self, web):
+        report = TopicCrawler(web, max_pages=10).crawl()
+        assert report.visited == 10
+
+    def test_best_first_beats_budgeted_random(self, web):
+        """With a small budget, the focused crawler still finds resumes
+        because frontier priority follows page relevance."""
+        report = TopicCrawler(web, max_pages=25).crawl()
+        assert len(report.collected) >= 10
+
+    def test_from_knowledge_base(self, web, kb):
+        crawler = TopicCrawler.from_knowledge_base(web, kb)
+        assert "education" in crawler.keywords
+        report = crawler.crawl()
+        assert report.recall > 0.9
+
+    def test_crawl_from_explicit_seed(self, web):
+        seed = next(iter(web.resume_urls()))
+        report = TopicCrawler(web).crawl([seed])
+        assert report.visited > 1
+
+    def test_report_metrics_consistent(self, web):
+        report = TopicCrawler(web).crawl()
+        assert report.visited <= len(web)
+        assert 0 <= report.precision <= 1
+        assert 0 <= report.recall <= 1

@@ -1,0 +1,59 @@
+"""Tests for slash-path queries."""
+
+from repro.dom.node import Element
+from repro.dom.path import find_all, find_first
+
+
+def build():
+    root = Element("resume")
+    edu = root.append_child(Element("education"))
+    d1 = edu.append_child(Element("date"))
+    d1.append_child(Element("degree"))
+    d2 = edu.append_child(Element("date"))
+    exp = root.append_child(Element("experience"))
+    exp.append_child(Element("date"))
+    return root, edu, d1, d2, exp
+
+
+class TestExactPaths:
+    def test_single_step_matches_context(self):
+        root, *_ = build()
+        assert find_all(root, "resume") == [root]
+
+    def test_two_steps(self):
+        root, edu, *_ = build()
+        assert find_all(root, "resume/education") == [edu]
+
+    def test_three_steps_multiple_matches(self):
+        root, edu, d1, d2, exp = build()
+        assert find_all(root, "resume/education/date") == [d1, d2]
+
+    def test_wrong_root_no_match(self):
+        root, *_ = build()
+        assert find_all(root, "cv/education") == []
+
+    def test_wildcard_step(self):
+        root, edu, d1, d2, exp = build()
+        assert find_all(root, "resume/*/date") == [d1, d2, exp.children[0]]
+
+    def test_find_first(self):
+        root, edu, d1, *_ = build()
+        assert find_first(root, "resume/education/date") is d1
+        assert find_first(root, "resume/nothing") is None
+
+
+class TestDescendantPaths:
+    def test_double_slash_from_root(self):
+        root, edu, d1, d2, exp = build()
+        dates = find_all(root, "//date")
+        assert len(dates) == 3
+
+    def test_double_slash_mid_path(self):
+        root, edu, d1, d2, exp = build()
+        degrees = find_all(root, "resume//degree")
+        assert len(degrees) == 1
+
+    def test_double_slash_no_duplicates(self):
+        root, *_ = build()
+        dates = find_all(root, "//education//degree")
+        assert len(dates) == 1

@@ -1,0 +1,84 @@
+"""Tests for XML/HTML serialization."""
+
+from repro.dom.node import Element, Text
+from repro.dom.serialize import (
+    escape_attr,
+    escape_text,
+    to_html,
+    to_xml,
+    to_xml_document,
+)
+
+
+class TestEscaping:
+    def test_escape_text_basics(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_text_leaves_quotes(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+    def test_escape_attr_quotes(self):
+        assert escape_attr('say "hi"') == "say &quot;hi&quot;"
+
+
+class TestXml:
+    def test_leaf_element_self_closes(self):
+        e = Element("DATE", {"val": "June 1996"})
+        assert to_xml(e) == '<DATE val="June 1996"/>'
+
+    def test_nested_pretty_print(self):
+        root = Element("a")
+        root.append_child(Element("b"))
+        assert to_xml(root) == "<a>\n  <b/>\n</a>"
+
+    def test_text_node_rendered_escaped(self):
+        root = Element("a")
+        root.append_child(Text("x < y"))
+        assert "x &lt; y" in to_xml(root)
+
+    def test_attr_value_escaped(self):
+        e = Element("a", {"val": 'He said "<ok>"'})
+        assert 'val="He said &quot;&lt;ok&gt;&quot;"' in to_xml(e)
+
+    def test_document_has_declaration(self):
+        out = to_xml_document(Element("root"))
+        assert out.startswith('<?xml version="1.0"')
+
+    def test_custom_indent(self):
+        root = Element("a", children=[Element("b")])
+        assert to_xml(root, indent=4) == "<a>\n    <b/>\n</a>"
+
+
+class TestHtml:
+    def test_void_tag_not_closed(self):
+        assert to_html(Element("br")) == "<br>"
+
+    def test_normal_tag_closed(self):
+        e = Element("p", children=[Text("hi")])
+        assert to_html(e) == "<p>hi</p>"
+
+    def test_tag_lowercased(self):
+        assert to_html(Element("DIV")) == "<div></div>"
+
+    def test_attrs_rendered(self):
+        e = Element("a", {"href": "x.html"})
+        assert to_html(e) == '<a href="x.html"></a>'
+
+    def test_nested_compact(self):
+        root = Element("ul", children=[Element("li", children=[Text("one")])])
+        assert to_html(root) == "<ul><li>one</li></ul>"
+
+
+class TestRoundTrip:
+    def test_parse_own_xml_output(self):
+        """The HTML parser accepts the XML the serializer emits."""
+        from repro.htmlparse.parser import parse_fragment
+
+        root = Element("RESUME", {"val": "r"})
+        edu = root.append_child(Element("EDUCATION"))
+        edu.append_child(Element("DATE", {"val": "June 1996"}))
+        xml = to_xml(root)
+        reparsed = parse_fragment(xml).element_children()[0]
+        assert reparsed.tag == "resume"  # parser lower-cases tags
+        assert reparsed.attrs["val"] == "r"
+        assert reparsed.element_children()[0].element_children()[0].attrs["val"] == "June 1996"

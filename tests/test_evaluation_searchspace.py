@@ -1,0 +1,61 @@
+"""Tests for the Section 4.2 search-space accounting -- the exact paper
+numbers, which are machine-independent arithmetic."""
+
+import pytest
+
+from repro.evaluation.searchspace import (
+    count_constrained_paths,
+    paper_constraints,
+    paper_exhaustive_count,
+    run_search_space_experiment,
+)
+
+
+class TestPaperArithmetic:
+    def test_exhaustive_count_is_paper_value(self):
+        """Paper: 24^5 - 1 = 7,962,623."""
+        assert paper_exhaustive_count(24, 4) == 7_962_623
+
+    def test_constrained_count_is_paper_value(self, kb):
+        """Paper: 1 + 11 + 11*13 + 11*13*12 = 1,871."""
+        assert count_constrained_paths(kb) == 1_871
+
+    def test_constrained_fraction_is_paper_value(self, kb):
+        """Paper: 0.023% of the exhaustive space."""
+        fraction = 100.0 * count_constrained_paths(kb) / paper_exhaustive_count(24, 4)
+        assert fraction == pytest.approx(0.023, abs=0.001)
+
+    def test_paper_constraints_shape(self, kb):
+        constraints = paper_constraints(kb)
+        assert constraints.no_repeat_on_path
+        assert constraints.max_depth == 3
+        assert len(constraints.depths) == 24
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def report(self, kb, converter):
+        from repro.corpus.generator import ResumeCorpusGenerator
+        from repro.schema.paths import extract_paths
+
+        docs = ResumeCorpusGenerator(seed=1966).generate(30)
+        documents = [extract_paths(converter.convert(d.html).root) for d in docs]
+        return run_search_space_experiment(kb, documents)
+
+    def test_reduction_chain(self, report):
+        """exhaustive >> constrained >> explored >= positive support."""
+        assert report.exhaustive_nodes == 7_962_623
+        assert report.constrained_nodes == 1_871
+        assert report.explored_nodes < report.constrained_nodes
+        assert report.positive_support_nodes <= report.explored_nodes
+
+    def test_positive_support_magnitude(self, report):
+        """Paper's analog: 73 nodes.  Ours should be the same order."""
+        assert 20 <= report.positive_support_nodes <= 250
+
+    def test_fractions(self, report):
+        assert report.constrained_fraction == pytest.approx(0.0235, abs=0.001)
+        assert report.explored_fraction < 0.01
+
+    def test_frequent_paths_found(self, report):
+        assert report.frequent_paths > 5

@@ -1,0 +1,48 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The slower corpus-heavy examples are exercised by the benchmarks; these
+keep the quick ones honest in the unit suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "<RESUME" in result.stdout
+        assert "concept nodes:" in result.stdout
+
+    def test_custom_topic(self):
+        result = run_example("custom_topic.py")
+        assert result.returncode == 0, result.stderr
+        assert "<CATALOG" in result.stdout
+        assert "<!ELEMENT" in result.stdout
+
+    def test_resume_pipeline_small(self):
+        result = run_example("resume_pipeline.py", "12")
+        assert result.returncode == 0, result.stderr
+        assert "derived DTD" in result.stdout
+        assert "<!ELEMENT resume" in result.stdout
+        assert "homonym concept DATE" in result.stdout
+
+    def test_repository_workflow(self, tmp_path):
+        result = run_example("repository_workflow.py", str(tmp_path / "store"))
+        assert result.returncode == 0, result.stderr
+        assert "migrated onto the re-discovered DTD" in result.stdout

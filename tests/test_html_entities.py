@@ -1,0 +1,50 @@
+"""Tests for character-reference decoding."""
+
+from repro.htmlparse.entities import decode_entities
+
+
+class TestNamedEntities:
+    def test_core_entities(self):
+        assert decode_entities("&amp;&lt;&gt;&quot;") == '&<>"'
+
+    def test_nbsp_becomes_space(self):
+        assert decode_entities("a&nbsp;b") == "a b"
+
+    def test_missing_semicolon_tolerated(self):
+        assert decode_entities("AT&amp T") == "AT& T"
+
+    def test_unknown_entity_left_verbatim(self):
+        assert decode_entities("&frobnicate;") == "&frobnicate;"
+
+    def test_case_fallback(self):
+        assert decode_entities("&AMP;") == "&"
+
+    def test_typographic_entities(self):
+        assert decode_entities("&ldquo;hi&rdquo;") == "“hi”"
+        assert decode_entities("&mdash;") == "—"
+
+
+class TestNumericEntities:
+    def test_decimal(self):
+        assert decode_entities("&#65;") == "A"
+
+    def test_hexadecimal(self):
+        assert decode_entities("&#x41;&#X42;") == "AB"
+
+    def test_out_of_range_left_verbatim(self):
+        assert decode_entities("&#1114112;") == "&#1114112;"
+
+    def test_zero_left_verbatim(self):
+        assert decode_entities("&#0;") == "&#0;"
+
+
+class TestEdgeCases:
+    def test_no_ampersand_fast_path(self):
+        text = "plain text"
+        assert decode_entities(text) is text
+
+    def test_bare_ampersand_kept(self):
+        assert decode_entities("fish & chips") == "fish & chips"
+
+    def test_adjacent_entities(self):
+        assert decode_entities("&lt;&lt;") == "<<"

@@ -1,0 +1,135 @@
+"""Tests for HTML tree construction."""
+
+from repro.dom.node import Element, Text
+from repro.htmlparse.parser import body_of, parse_fragment, parse_html
+
+
+def body(source):
+    return body_of(parse_html(source))
+
+
+def tags(element):
+    return [c.tag for c in element.element_children()]
+
+
+class TestDocumentStructure:
+    def test_root_is_html_with_body(self):
+        doc = parse_html("<p>x</p>")
+        assert doc.tag == "html"
+        assert tags(doc) == ["body"]
+
+    def test_head_separated_from_body(self):
+        doc = parse_html("<head><title>T</title></head><body><p>x</p></body>")
+        assert tags(doc) == ["head", "body"]
+
+    def test_body_attrs_merged(self):
+        doc = parse_html('<body bgcolor="white"><p>x</p></body>')
+        assert body_of(doc).attrs["bgcolor"] == "white"
+
+    def test_fragment_has_fragment_root(self):
+        frag = parse_fragment("<li>a</li><li>b</li>")
+        assert frag.tag == "#fragment"
+        assert tags(frag) == ["li", "li"]
+
+
+class TestImpliedEndTags:
+    def test_li_closes_li(self):
+        b = body("<ul><li>one<li>two</ul>")
+        ul = b.element_children()[0]
+        assert tags(ul) == ["li", "li"]
+
+    def test_block_closes_paragraph(self):
+        b = body("<p>one<div>two</div>")
+        assert tags(b) == ["p", "div"]
+        p = b.element_children()[0]
+        assert p.inner_text() == "one"
+
+    def test_p_closes_p(self):
+        b = body("<p>one<p>two")
+        assert tags(b) == ["p", "p"]
+
+    def test_td_closes_td(self):
+        b = body("<table><tr><td>a<td>b</tr></table>")
+        tr = b.element_children()[0].element_children()[0]
+        assert tags(tr) == ["td", "td"]
+
+    def test_tr_closes_tr_and_cells(self):
+        b = body("<table><tr><td>a<tr><td>b</table>")
+        table = b.element_children()[0]
+        assert tags(table) == ["tr", "tr"]
+
+    def test_dt_dd_alternate(self):
+        b = body("<dl><dt>term<dd>def<dt>term2</dl>")
+        dl = b.element_children()[0]
+        assert tags(dl) == ["dt", "dd", "dt"]
+
+
+class TestVoidElements:
+    def test_br_does_not_nest(self):
+        b = body("one<br>two")
+        assert [type(c).__name__ for c in b.children] == ["Text", "Element", "Text"]
+
+    def test_hr_img_void(self):
+        b = body("<hr><img src=x.gif><p>y</p>")
+        assert tags(b) == ["hr", "img", "p"]
+
+    def test_xml_style_self_close_non_void(self):
+        b = body("<foo/><p>x</p>")
+        assert tags(b) == ["foo", "p"]
+        assert b.element_children()[0].children == []
+
+
+class TestErrorRecovery:
+    def test_stray_end_tag_dropped(self):
+        b = body("</div><p>x</p>")
+        assert tags(b) == ["p"]
+
+    def test_mismatched_close_pops_to_match(self):
+        b = body("<div><b>x</div>after")
+        div = b.element_children()[0]
+        assert tags(div) == ["b"]
+        assert b.children[-1].text.strip() == "after"
+
+    def test_unclosed_elements_at_eof(self):
+        b = body("<div><ul><li>x")
+        div = b.element_children()[0]
+        assert tags(div) == ["ul"]
+
+    def test_whitespace_only_text_dropped(self):
+        b = body("<p>  </p>\n  <p>x</p>")
+        p1 = b.element_children()[0]
+        assert p1.children == []
+
+    def test_adjacent_text_merged(self):
+        b = body("one &amp; two")
+        assert len(b.text_children()) == 1
+        assert b.text_children()[0].text == "one & two"
+
+    def test_comments_discarded(self):
+        b = body("<!-- c --><p>x</p><!-- d -->")
+        assert tags(b) == ["p"]
+        assert len(b.children) == 1
+
+
+class TestRealisticDocument:
+    def test_resume_shape(self):
+        b = body(
+            """
+            <h1>Resume</h1>
+            <h2>Education</h2>
+            <ul><li>UC Davis, B.S., 1996<li>MIT, M.S., 1998</ul>
+            <h2>Skills</h2>
+            <p>C++, Java
+            """
+        )
+        assert tags(b) == ["h1", "h2", "ul", "h2", "p"]
+        ul = b.element_children()[2]
+        assert len(ul.element_children()) == 2
+
+    def test_nested_tables(self):
+        b = body(
+            "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>"
+        )
+        outer = b.element_children()[0]
+        inner_td = outer.element_children()[0].element_children()[0]
+        assert tags(inner_td) == ["table"]

@@ -1,0 +1,124 @@
+"""Full-pipeline integration tests: crawl -> convert -> discover ->
+derive DTD -> conform -> repository."""
+
+import pytest
+
+from repro.corpus.crawler import TopicCrawler
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.corpus.noise import NoiseConfig
+from repro.corpus.web import SimulatedWeb
+from repro.dom.treeops import iter_elements
+from repro.mapping.repository import XMLRepository
+from repro.mapping.validate import validate_document
+from repro.schema.dataguide import build_dataguide
+from repro.schema.dtd import derive_dtd
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.lowerbound import build_lower_bound_schema
+from repro.schema.majority import MajoritySchema
+from repro.schema.paths import extract_paths
+
+
+@pytest.fixture(scope="module")
+def pipeline(kb, converter):
+    docs = ResumeCorpusGenerator(seed=1966).generate(40)
+    results = [converter.convert(d.html) for d in docs]
+    documents = [extract_paths(r.root) for r in results]
+    frequent = mine_frequent_paths(
+        documents,
+        sup_threshold=0.4,
+        constraints=kb.constraints,
+        candidate_labels=kb.concept_tags(),
+    )
+    schema = MajoritySchema.from_frequent_paths(frequent)
+    dtd = derive_dtd(schema, documents)
+    return docs, results, documents, schema, dtd
+
+
+class TestSchemaDiscoveryOnCorpus:
+    def test_schema_root_is_resume(self, pipeline):
+        _docs, _results, _documents, schema, _dtd = pipeline
+        assert schema.root.label == "RESUME"
+
+    def test_core_sections_in_schema(self, pipeline):
+        *_, schema, _dtd = pipeline
+        children = set(schema.root.children)
+        assert {"CONTACT", "EDUCATION", "EXPERIENCE", "SKILLS"} <= children
+
+    def test_education_detail_in_schema(self, pipeline):
+        *_, schema, _dtd = pipeline
+        education = schema.root.children["EDUCATION"]
+        assert education.children  # DATE/INSTITUTION/DEGREE entries
+
+    def test_majority_between_bounds(self, pipeline):
+        _docs, _results, documents, schema, _dtd = pipeline
+        lower = build_lower_bound_schema(documents).paths()
+        upper = build_dataguide(documents).paths()
+        assert lower <= schema.paths() <= upper
+        assert len(schema.paths()) < len(upper)
+
+    def test_dtd_is_resume_shaped(self, pipeline):
+        *_, dtd = pipeline
+        text = dtd.render()
+        assert text.splitlines()[0].startswith("<!ELEMENT resume")
+        assert "education" in dtd.elements
+        assert "experience" in dtd.elements
+
+    def test_dtd_has_repetitive_entries(self, pipeline):
+        *_, dtd = pipeline
+        rendered = dtd.render()
+        assert "+" in rendered  # some element repeats (entries, skills...)
+
+
+class TestRepositoryIntegration:
+    def test_most_documents_integrate(self, pipeline):
+        _docs, results, _documents, _schema, dtd = pipeline
+        repository = XMLRepository(dtd)
+        for result in results:
+            repository.insert(result.root)
+        assert len(repository) == len(results)
+        # After integration every stored document conforms.
+        for document in repository.documents:
+            assert validate_document(document, dtd) == []
+
+    def test_repository_queries_work(self, pipeline):
+        _docs, results, _documents, _schema, dtd = pipeline
+        repository = XMLRepository(dtd)
+        for result in results[:10]:
+            repository.insert(result.root)
+        institutions = repository.values("RESUME/EDUCATION//INSTITUTION")
+        assert institutions  # real values extracted end to end
+
+
+class TestCrawlToRepository:
+    def test_whole_system(self, kb, converter):
+        """Crawl the simulated web, convert the finds, build a DTD, and
+        integrate everything into a repository."""
+        web = SimulatedWeb(resume_count=12, noise_count=30, seed=5)
+        report = TopicCrawler.from_knowledge_base(web, kb).crawl()
+        assert report.collected
+
+        results = [converter.convert(r.html) for r in report.collected]
+        documents = [extract_paths(r.root) for r in results]
+        frequent = mine_frequent_paths(
+            documents,
+            sup_threshold=0.4,
+            constraints=kb.constraints,
+            candidate_labels=kb.concept_tags(),
+        )
+        schema = MajoritySchema.from_frequent_paths(frequent)
+        dtd = derive_dtd(schema, documents)
+        repository = XMLRepository(dtd)
+        for result in results:
+            repository.insert(result.root)
+        assert len(repository) == len(results)
+        assert repository.stats.repair_rate <= 1.0
+
+
+class TestNoisyCorpus:
+    def test_noisy_documents_still_convert(self, kb, converter):
+        generator = ResumeCorpusGenerator(seed=3, noise=NoiseConfig(rate=0.8))
+        for doc in generator.generate(8):
+            result = converter.convert(doc.html)
+            assert result.root.tag == "RESUME"
+            tags = {el.tag for el in iter_elements(result.root)}
+            assert tags <= kb.concept_tags()

@@ -1,0 +1,141 @@
+"""Tests for DTD-guided document repair."""
+
+import pytest
+
+from repro.dom.node import Element
+from repro.mapping.conform import conform_document
+from repro.mapping.validate import conforms
+from repro.schema.dtd import DTD
+
+DTD_TEXT = """
+<!ELEMENT resume ((#PCDATA), contact, education+)>
+<!ELEMENT contact (#PCDATA)>
+<!ELEMENT education ((#PCDATA), degree, date+)>
+<!ELEMENT degree (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+"""
+
+
+@pytest.fixture()
+def dtd():
+    return DTD.parse(DTD_TEXT)
+
+
+def education(*children):
+    e = Element("EDUCATION")
+    for tag in children:
+        e.append_child(Element(tag))
+    return e
+
+
+class TestRepairOperations:
+    def test_conforming_document_untouched(self, dtd):
+        root = Element("RESUME")
+        root.append_child(Element("CONTACT"))
+        root.append_child(education("DEGREE", "DATE"))
+        result = conform_document(root, dtd)
+        assert result.total_operations == 0
+        assert conforms(root, dtd)
+
+    def test_unexpected_child_unwrapped(self, dtd):
+        root = Element("RESUME")
+        root.append_child(Element("CONTACT"))
+        wrapper = root.append_child(Element("SECTION"))
+        wrapper.append_child(education("DEGREE", "DATE"))
+        result = conform_document(root, dtd)
+        assert result.unwrapped == 1
+        assert conforms(root, dtd)
+
+    def test_unexpected_leaf_dropped_val_preserved(self, dtd):
+        root = Element("RESUME")
+        root.append_child(Element("CONTACT"))
+        root.append_child(education("DEGREE", "DATE"))
+        stray = root.append_child(Element("HOBBIES"))
+        stray.set_val("chess")
+        result = conform_document(root, dtd)
+        assert result.dropped == 1
+        assert "chess" in root.get_val()
+        assert conforms(root, dtd)
+
+    def test_over_occurrence_merged(self, dtd):
+        root = Element("RESUME")
+        c1 = root.append_child(Element("CONTACT"))
+        c1.set_val("first")
+        c2 = root.append_child(Element("CONTACT"))
+        c2.set_val("second")
+        root.append_child(education("DEGREE", "DATE"))
+        result = conform_document(root, dtd)
+        assert result.merged == 1
+        assert "first" in c1.get_val() and "second" in c1.get_val()
+        assert conforms(root, dtd)
+
+    def test_repetitive_children_not_merged(self, dtd):
+        root = Element("RESUME")
+        root.append_child(Element("CONTACT"))
+        root.append_child(education("DEGREE", "DATE", "DATE", "DATE"))
+        result = conform_document(root, dtd)
+        assert result.merged == 0
+        assert conforms(root, dtd)
+
+    def test_out_of_order_children_reordered(self, dtd):
+        root = Element("RESUME")
+        edu = education("DATE", "DEGREE")  # declared order: degree, date
+        root.append_child(edu)
+        root.insert_child(1, Element("CONTACT"))  # contact after education
+        result = conform_document(root, dtd)
+        assert result.reordered >= 1
+        assert [c.tag for c in root.element_children()] == ["CONTACT", "EDUCATION"]
+        assert [c.tag for c in edu.element_children()] == ["DEGREE", "DATE"]
+        assert conforms(root, dtd)
+
+    def test_missing_required_inserted(self, dtd):
+        root = Element("RESUME")
+        root.append_child(education("DEGREE", "DATE"))
+        result = conform_document(root, dtd)
+        assert result.inserted == 1
+        assert conforms(root, dtd)
+
+    def test_missing_nested_required_inserted(self, dtd):
+        root = Element("RESUME")
+        root.append_child(Element("CONTACT"))
+        root.append_child(education())  # missing degree AND date
+        result = conform_document(root, dtd)
+        assert result.inserted == 2
+        assert conforms(root, dtd)
+
+    def test_wrong_root_renamed(self, dtd):
+        root = Element("CV")
+        root.append_child(Element("CONTACT"))
+        root.append_child(education("DEGREE", "DATE"))
+        conform_document(root, dtd)
+        assert root.tag == "RESUME"
+        assert conforms(root, dtd)
+
+    def test_deeply_wrapped_content_recovered(self, dtd):
+        root = Element("RESUME")
+        root.append_child(Element("CONTACT"))
+        a = root.append_child(Element("DIV"))
+        b = a.append_child(Element("SPAN"))
+        b.append_child(education("DEGREE", "DATE"))
+        conform_document(root, dtd)
+        assert conforms(root, dtd)
+        assert len([c for c in root.element_children() if c.tag == "EDUCATION"]) == 1
+
+
+class TestRepairAlwaysConverges:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_trees_repaired(self, dtd, seed):
+        import random
+
+        rng = random.Random(seed)
+        tags = ["RESUME", "CONTACT", "EDUCATION", "DEGREE", "DATE", "JUNK", "NOISE"]
+
+        def random_tree(depth=0):
+            element = Element(rng.choice(tags if depth else ["RESUME", "CV"]))
+            for _ in range(rng.randint(0, 3) if depth < 3 else 0):
+                element.append_child(random_tree(depth + 1))
+            return element
+
+        root = random_tree()
+        conform_document(root, dtd)
+        assert conforms(root, dtd)

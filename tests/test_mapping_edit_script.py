@@ -1,0 +1,91 @@
+"""Tests for approximate edit scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dom.node import Element
+from repro.mapping.edit_script import (
+    EditOp,
+    approximate_edit_script,
+    script_cost,
+)
+from repro.mapping.tree_edit import tree_edit_distance
+
+
+def tree(spec):
+    tag, kids = spec
+    e = Element(tag)
+    for k in kids:
+        e.append_child(tree(k))
+    return e
+
+
+class TestScripts:
+    def test_identical_trees_empty_script(self):
+        a = tree(("r", [("a", []), ("b", [("c", [])])]))
+        b = tree(("r", [("a", []), ("b", [("c", [])])]))
+        assert approximate_edit_script(a, b) == []
+
+    def test_root_relabel(self):
+        steps = approximate_edit_script(tree(("a", [])), tree(("b", [])))
+        assert len(steps) == 1
+        assert steps[0].op is EditOp.RELABEL
+
+    def test_single_insert(self):
+        a = tree(("r", [("a", [])]))
+        b = tree(("r", [("a", []), ("b", [])]))
+        steps = approximate_edit_script(a, b)
+        assert [s.op for s in steps] == [EditOp.INSERT]
+        assert steps[0].path == ("r", "b")
+
+    def test_single_delete(self):
+        a = tree(("r", [("a", []), ("b", [])]))
+        b = tree(("r", [("a", [])]))
+        steps = approximate_edit_script(a, b)
+        assert [s.op for s in steps] == [EditOp.DELETE]
+
+    def test_subtree_costs_size(self):
+        a = tree(("r", []))
+        b = tree(("r", [("x", [("y", []), ("z", [])])]))
+        steps = approximate_edit_script(a, b)
+        assert script_cost(steps) == 3
+        assert all(s.op is EditOp.INSERT for s in steps)
+
+    def test_lone_mismatch_becomes_relabel(self):
+        a = tree(("r", [("a", []), ("x", []), ("b", [])]))
+        b = tree(("r", [("a", []), ("y", []), ("b", [])]))
+        steps = approximate_edit_script(a, b)
+        assert script_cost(steps) == 1
+        assert steps[0].op is EditOp.RELABEL
+
+    def test_nested_changes_located_by_path(self):
+        a = tree(("r", [("edu", [("d", [])])]))
+        b = tree(("r", [("edu", [("d", []), ("gpa", [])])]))
+        steps = approximate_edit_script(a, b)
+        assert steps[0].path == ("r", "edu", "gpa")
+
+
+class TestUpperBoundInvariant:
+    tag_names = st.sampled_from(["a", "b", "c"])
+
+    @st.composite
+    def trees(draw, max_depth=3):
+        def build(depth):
+            e = Element(draw(TestUpperBoundInvariant.tag_names))
+            if depth < max_depth:
+                for _ in range(draw(st.integers(0, 3))):
+                    e.append_child(build(depth + 1))
+            return e
+
+        return build(0)
+
+    @given(trees(), trees())
+    @settings(max_examples=60)
+    def test_script_cost_upper_bounds_distance(self, a, b):
+        steps = approximate_edit_script(a, b)
+        assert script_cost(steps) >= tree_edit_distance(a, b)
+
+    @given(trees())
+    @settings(max_examples=30)
+    def test_self_script_empty(self, a):
+        assert approximate_edit_script(a, a) == []

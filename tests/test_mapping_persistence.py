@@ -1,0 +1,125 @@
+"""Tests for repository persistence."""
+
+import pytest
+
+from repro.dom.node import Element
+from repro.mapping.persistence import (
+    load_repository,
+    load_xml_document,
+    save_repository,
+)
+from repro.mapping.repository import XMLRepository
+from repro.schema.dtd import DTD
+
+DTD_TEXT = """
+<!ELEMENT resume ((#PCDATA), contact, education+)>
+<!ELEMENT contact (#PCDATA)>
+<!ELEMENT education ((#PCDATA), degree)>
+<!ELEMENT degree (#PCDATA)>
+"""
+
+
+def conforming_doc(degree="B.S."):
+    root = Element("RESUME")
+    root.append_child(Element("CONTACT"))
+    edu = root.append_child(Element("EDUCATION"))
+    d = edu.append_child(Element("DEGREE"))
+    d.set_val(degree)
+    return root
+
+
+@pytest.fixture()
+def repo():
+    repository = XMLRepository(DTD.parse(DTD_TEXT))
+    repository.insert(conforming_doc("B.S."))
+    repository.insert(conforming_doc("M.S."))
+    return repository
+
+
+class TestLoadXmlDocument:
+    def test_round_trip_tags_and_vals(self):
+        from repro.dom.serialize import to_xml_document
+
+        doc = conforming_doc("Ph.D.")
+        loaded = load_xml_document(to_xml_document(doc))
+        assert loaded.tag == "RESUME"
+        degree = loaded.element_children()[1].element_children()[0]
+        assert degree.tag == "DEGREE"
+        assert degree.get_val() == "Ph.D."
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            load_xml_document("   ")
+
+
+class TestSaveLoad:
+    def test_directory_layout(self, repo, tmp_path):
+        target = save_repository(repo, tmp_path / "store")
+        assert (target / "schema.dtd").exists()
+        assert (target / "manifest.json").exists()
+        assert len(list(target.glob("doc*.xml"))) == 2
+
+    def test_round_trip(self, repo, tmp_path):
+        save_repository(repo, tmp_path / "store")
+        loaded = load_repository(tmp_path / "store")
+        assert len(loaded) == 2
+        assert loaded.dtd.root_name == "resume"
+        assert loaded.values("RESUME/EDUCATION/DEGREE") == ["B.S.", "M.S."]
+
+    def test_stats_restored(self, repo, tmp_path):
+        save_repository(repo, tmp_path / "store")
+        loaded = load_repository(tmp_path / "store")
+        assert loaded.stats.documents == 2
+        assert loaded.stats.conforming_on_arrival == 2
+
+    def test_corrupted_document_detected(self, repo, tmp_path):
+        target = save_repository(repo, tmp_path / "store")
+        victim = sorted(target.glob("doc*.xml"))[0]
+        victim.write_text(
+            '<?xml version="1.0"?>\n<RESUME><HACKED/></RESUME>'
+        )
+        with pytest.raises(ValueError):
+            load_repository(target)
+
+    def test_unknown_format_rejected(self, repo, tmp_path):
+        target = save_repository(repo, tmp_path / "store")
+        import json
+
+        manifest = json.loads((target / "manifest.json").read_text())
+        manifest["format"] = "something-else"
+        (target / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_repository(target)
+
+    def test_loaded_repository_accepts_new_documents(self, repo, tmp_path):
+        save_repository(repo, tmp_path / "store")
+        loaded = load_repository(tmp_path / "store")
+        loaded.insert(conforming_doc("MBA"))
+        assert len(loaded) == 3
+
+    def test_end_to_end_with_converted_corpus(self, kb, converter, tmp_path):
+        from repro.corpus.generator import ResumeCorpusGenerator
+        from repro.schema.dtd import derive_dtd
+        from repro.schema.frequent import mine_frequent_paths
+        from repro.schema.majority import MajoritySchema
+        from repro.schema.paths import extract_paths
+
+        docs = ResumeCorpusGenerator(seed=21).generate(12)
+        results = [converter.convert(d.html) for d in docs]
+        documents = [extract_paths(r.root) for r in results]
+        schema = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(
+                documents,
+                sup_threshold=0.4,
+                constraints=kb.constraints,
+                candidate_labels=kb.concept_tags(),
+            )
+        )
+        dtd = derive_dtd(schema, documents, optional_threshold=0.9)
+        repository = XMLRepository(dtd)
+        for result in results:
+            repository.insert(result.root)
+        save_repository(repository, tmp_path / "full")
+        loaded = load_repository(tmp_path / "full")
+        assert len(loaded) == len(repository)
+        assert loaded.values("RESUME//INSTITUTION")

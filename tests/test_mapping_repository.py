@@ -1,0 +1,85 @@
+"""Tests for the XML repository."""
+
+import pytest
+
+from repro.dom.node import Element
+from repro.mapping.repository import XMLRepository
+from repro.schema.dtd import DTD
+
+DTD_TEXT = """
+<!ELEMENT resume ((#PCDATA), contact, education+)>
+<!ELEMENT contact (#PCDATA)>
+<!ELEMENT education ((#PCDATA), degree)>
+<!ELEMENT degree (#PCDATA)>
+"""
+
+
+@pytest.fixture()
+def repo():
+    return XMLRepository(DTD.parse(DTD_TEXT))
+
+
+def conforming_doc(degree="B.S."):
+    root = Element("RESUME")
+    root.append_child(Element("CONTACT"))
+    edu = root.append_child(Element("EDUCATION"))
+    d = edu.append_child(Element("DEGREE"))
+    d.set_val(degree)
+    return root
+
+
+def broken_doc():
+    root = Element("RESUME")
+    root.append_child(Element("EDUCATION"))  # missing contact and degree
+    return root
+
+
+class TestInsertion:
+    def test_conforming_inserted_unchanged(self, repo):
+        result = repo.insert(conforming_doc())
+        assert result is not None
+        assert result.total_operations == 0
+        assert len(repo) == 1
+        assert repo.stats.conforming_on_arrival == 1
+
+    def test_broken_repaired_on_insert(self, repo):
+        result = repo.insert(broken_doc())
+        assert result is not None
+        assert result.total_operations > 0
+        assert repo.stats.repaired == 1
+        assert len(repo) == 1
+
+    def test_repair_budget_rejects(self):
+        repo = XMLRepository(DTD.parse(DTD_TEXT), max_repair_operations=0)
+        assert repo.insert(broken_doc()) is None
+        assert repo.stats.rejected == 1
+        assert len(repo) == 0
+
+    def test_repair_rate(self, repo):
+        repo.insert(conforming_doc())
+        repo.insert(broken_doc())
+        assert repo.stats.repair_rate == 0.5
+
+    def test_total_repair_operations_accumulate(self, repo):
+        repo.insert(broken_doc())
+        repo.insert(broken_doc())
+        assert repo.stats.total_repair_operations >= 2
+
+
+class TestQuerying:
+    def test_query_across_documents(self, repo):
+        repo.insert(conforming_doc("B.S."))
+        repo.insert(conforming_doc("M.S."))
+        degrees = repo.query("RESUME/EDUCATION/DEGREE")
+        assert len(degrees) == 2
+
+    def test_values(self, repo):
+        repo.insert(conforming_doc("B.S."))
+        repo.insert(conforming_doc("M.S."))
+        assert repo.values("RESUME/EDUCATION/DEGREE") == ["B.S.", "M.S."]
+
+    def test_export_serializes_all(self, repo):
+        repo.insert(conforming_doc())
+        exported = repo.export()
+        assert len(exported) == 1
+        assert exported[0].startswith("<?xml")

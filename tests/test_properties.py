@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on core data structures and rules."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concepts.textutil import normalized_words, squeeze_whitespace, words
+from repro.convert.tokenize_rule import split_topic_sentence
+from repro.dom.node import Element, Text
+from repro.dom.serialize import to_html, to_xml
+from repro.dom.treeops import clone, deep_equal, iter_postorder, iter_preorder, tree_size
+from repro.htmlparse.entities import decode_entities
+from repro.htmlparse.parser import parse_html
+from repro.htmlparse.tidy import tidy
+from repro.mapping.tree_edit import tree_edit_distance
+from repro.schema.paths import extract_paths
+
+# ---------------------------------------------------------------------------
+# strategies
+
+tag_names = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+@st.composite
+def element_trees(draw, max_depth=4, max_children=4):
+    """Random small element trees."""
+    def build(depth):
+        element = Element(draw(tag_names))
+        if depth < max_depth:
+            for _ in range(draw(st.integers(0, max_children))):
+                element.append_child(build(depth + 1))
+        return element
+
+    return build(0)
+
+
+plain_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;:-/()",
+    min_size=0,
+    max_size=80,
+)
+
+
+# ---------------------------------------------------------------------------
+# tree invariants
+
+
+class TestTreeProperties:
+    @given(element_trees())
+    def test_clone_preserves_structure(self, tree):
+        assert deep_equal(clone(tree), tree)
+
+    @given(element_trees())
+    def test_preorder_and_postorder_visit_same_nodes(self, tree):
+        pre = list(iter_preorder(tree))
+        post = list(iter_postorder(tree))
+        assert len(pre) == len(post) == tree_size(tree)
+        assert {id(n) for n in pre} == {id(n) for n in post}
+
+    @given(element_trees())
+    def test_parent_pointers_consistent(self, tree):
+        for node in iter_preorder(tree):
+            if isinstance(node, Element):
+                for child in node.children:
+                    assert child.parent is node
+
+    @given(element_trees())
+    def test_detach_reattach_roundtrip(self, tree):
+        children = list(tree.children)
+        for child in children:
+            child.detach()
+        assert tree.children == []
+        for child in children:
+            tree.append_child(child)
+        assert tree.children == children
+
+
+class TestSerializationProperties:
+    @given(element_trees())
+    def test_xml_round_trips_through_parser(self, tree):
+        from repro.htmlparse.parser import parse_fragment
+
+        xml = to_xml(tree)
+        reparsed = parse_fragment(xml)
+        roots = reparsed.element_children()
+        assert len(roots) == 1
+        assert _shape(roots[0]) == _shape(tree)
+
+    @given(plain_text)
+    def test_text_escaping_round_trips(self, text):
+        e = Element("t")
+        e.append_child(Text(text))
+        html = to_html(e)
+        reparsed = parse_html(html)
+        # inner_text preserves internal whitespace runs within one text
+        # node; compare modulo whitespace squeezing on both sides.
+        assert squeeze_whitespace(reparsed.inner_text()) == squeeze_whitespace(text)
+
+
+def _shape(element):
+    return (element.tag.lower(), tuple(_shape(c) for c in element.element_children()))
+
+
+# ---------------------------------------------------------------------------
+# parser robustness
+
+
+class TestParserProperties:
+    @given(st.text(max_size=300))
+    @settings(max_examples=200)
+    def test_parser_never_crashes(self, source):
+        document = parse_html(source)
+        assert document.tag == "html"
+
+    @given(st.text(max_size=200))
+    def test_tidy_never_crashes(self, source):
+        tidy(parse_html(source))
+
+    @given(st.text(max_size=200))
+    def test_entity_decoding_total(self, text):
+        decode_entities(text)
+
+
+# ---------------------------------------------------------------------------
+# text utilities
+
+
+class TestTextProperties:
+    @given(plain_text)
+    def test_words_are_substrings(self, text):
+        for word in words(text):
+            assert word in text
+
+    @given(plain_text)
+    def test_normalized_words_lowercase(self, text):
+        for word in normalized_words(text):
+            assert word == word.lower()
+
+    @given(plain_text)
+    def test_tokenization_loses_no_letters(self, text):
+        """Splitting at delimiters must preserve all word characters."""
+        tokens = split_topic_sentence(text, (";", ",", ":"))
+        original = [c for c in text if c.isalnum()]
+        kept = [c for token in tokens for c in token if c.isalnum()]
+        assert original == kept
+
+    @given(plain_text)
+    def test_tokens_are_nonempty_and_stripped(self, text):
+        for token in split_topic_sentence(text, (";", ",", ":")):
+            assert token == token.strip()
+            assert token
+
+
+# ---------------------------------------------------------------------------
+# tree edit distance metric axioms
+
+
+class TestEditDistanceProperties:
+    @given(element_trees(max_depth=3, max_children=3))
+    def test_identity(self, tree):
+        assert tree_edit_distance(tree, tree) == 0
+
+    @given(element_trees(max_depth=3, max_children=3), element_trees(max_depth=3, max_children=3))
+    @settings(max_examples=30)
+    def test_symmetry(self, a, b):
+        assert tree_edit_distance(a, b) == tree_edit_distance(b, a)
+
+    @given(element_trees(max_depth=2, max_children=3), element_trees(max_depth=2, max_children=3))
+    @settings(max_examples=30)
+    def test_bounded_by_total_size(self, a, b):
+        d = tree_edit_distance(a, b)
+        assert 0 <= d <= tree_size(a) + tree_size(b)
+
+    @given(element_trees(max_depth=3, max_children=3))
+    @settings(max_examples=30)
+    def test_single_relabel_costs_one(self, tree):
+        other = clone(tree)
+        assert isinstance(other, Element)
+        other.tag = "zz"
+        expected = 0 if tree.tag == "zz" else 1
+        assert tree_edit_distance(tree, other) == expected
+
+
+# ---------------------------------------------------------------------------
+# path extraction invariants
+
+
+class TestPathProperties:
+    @given(element_trees())
+    def test_paths_prefix_closed(self, tree):
+        doc = extract_paths(tree)
+        for path in doc.paths:
+            for cut in range(1, len(path)):
+                assert path[:cut] in doc.paths
+
+    @given(element_trees())
+    def test_path_count_bounded_by_nodes(self, tree):
+        doc = extract_paths(tree)
+        assert len(doc.paths) <= tree_size(tree)
+
+    @given(element_trees())
+    def test_multiplicity_at_least_one(self, tree):
+        doc = extract_paths(tree)
+        for path in doc.paths:
+            assert doc.multiplicity[path] >= 1

@@ -1,0 +1,126 @@
+"""Tests for the DataGuide / lower-bound baselines and unification."""
+
+import pytest
+
+from repro.dom.node import Element
+from repro.schema.dataguide import build_dataguide
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.lowerbound import build_lower_bound_schema
+from repro.schema.majority import MajoritySchema
+from repro.schema.paths import extract_paths
+from repro.schema.unify import jaccard, unify_same_label, unify_similar_siblings
+
+
+def tree(spec):
+    tag, kids = spec
+    e = Element(tag)
+    for k in kids:
+        e.append_child(tree(k))
+    return e
+
+
+def corpus(*specs):
+    return [extract_paths(tree(s)) for s in specs]
+
+
+@pytest.fixture()
+def docs():
+    return corpus(
+        ("r", [("a", [("x", [])]), ("b", [])]),
+        ("r", [("a", [])]),
+        ("r", [("a", []), ("rare", [])]),
+    )
+
+
+class TestDataGuide:
+    def test_contains_every_observed_path(self, docs):
+        guide = build_dataguide(docs)
+        assert guide.contains_path(("r", "rare"))
+        assert guide.contains_path(("r", "a", "x"))
+
+    def test_is_upper_bound_of_majority(self, docs):
+        guide = build_dataguide(docs)
+        majority = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(docs, sup_threshold=0.5)
+        )
+        assert majority.paths() <= guide.paths()
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataguide([])
+
+
+class TestLowerBound:
+    def test_contains_only_universal_paths(self, docs):
+        lower = build_lower_bound_schema(docs)
+        assert lower.paths() == {("r",), ("r", "a")}
+
+    def test_is_lower_bound_of_majority(self, docs):
+        lower = build_lower_bound_schema(docs)
+        majority = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(docs, sup_threshold=0.5)
+        )
+        assert lower.paths() <= majority.paths()
+
+    def test_disjoint_corpus_rejected(self):
+        disjoint = corpus(("r", []), ("q", []))
+        with pytest.raises(ValueError):
+            build_lower_bound_schema(disjoint)
+
+    def test_sandwich_property(self, docs):
+        """lower bound <= majority <= DataGuide at any threshold."""
+        lower = build_lower_bound_schema(docs).paths()
+        guide = build_dataguide(docs).paths()
+        for threshold in (0.2, 0.5, 0.8):
+            majority = MajoritySchema.from_frequent_paths(
+                mine_frequent_paths(docs, sup_threshold=threshold)
+            ).paths()
+            assert lower <= majority <= guide
+
+
+class TestUnify:
+    def test_jaccard(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+        assert jaccard({"a"}, {"b"}) == 0.0
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_same_label_unification(self):
+        docs = corpus(
+            ("r", [("s", [("d", [("x", [])])]), ("t", [("d", [("y", [])])])]),
+            ("r", [("s", [("d", [("x", [])])]), ("t", [("d", [("y", [])])])]),
+        )
+        schema = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(docs, sup_threshold=0.5)
+        )
+        merged = unify_same_label(schema)
+        assert merged == 1
+        d_under_s = schema.root.children["s"].children["d"]
+        d_under_t = schema.root.children["t"].children["d"]
+        assert set(d_under_s.children) == {"x", "y"}
+        assert set(d_under_t.children) == {"x", "y"}
+
+    def test_similar_siblings_unified(self):
+        docs = corpus(
+            ("r", [("s", [("a", []), ("b", []), ("c", [])]),
+                   ("t", [("a", []), ("b", []), ("d", [])])]),
+            ("r", [("s", [("a", []), ("b", []), ("c", [])]),
+                   ("t", [("a", []), ("b", []), ("d", [])])]),
+        )
+        schema = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(docs, sup_threshold=0.5)
+        )
+        count = unify_similar_siblings(schema, threshold=0.5)
+        assert count == 1
+        assert set(schema.root.children["s"].children) == {"a", "b", "c", "d"}
+        assert set(schema.root.children["t"].children) == {"a", "b", "c", "d"}
+
+    def test_dissimilar_siblings_untouched(self):
+        docs = corpus(
+            ("r", [("s", [("a", [])]), ("t", [("z", [])])]),
+            ("r", [("s", [("a", [])]), ("t", [("z", [])])]),
+        )
+        schema = MajoritySchema.from_frequent_paths(
+            mine_frequent_paths(docs, sup_threshold=0.5)
+        )
+        assert unify_similar_siblings(schema, threshold=0.5) == 0

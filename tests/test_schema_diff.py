@@ -1,0 +1,134 @@
+"""Tests for schema comparison / drift measurement."""
+
+import pytest
+
+from repro.dom.node import Element
+from repro.schema.diff import diff_schemas, schema_stability
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.majority import MajoritySchema
+from repro.schema.paths import extract_paths
+
+
+def tree(spec):
+    tag, kids = spec
+    e = Element(tag)
+    for k in kids:
+        e.append_child(tree(k))
+    return e
+
+
+def schema_of(*specs, sup=0.5):
+    docs = [extract_paths(tree(s)) for s in specs]
+    return MajoritySchema.from_frequent_paths(
+        mine_frequent_paths(docs, sup_threshold=sup)
+    )
+
+
+class TestDiff:
+    def test_identical_schemas(self):
+        a = schema_of(("r", [("x", [])]), ("r", [("x", [])]))
+        b = schema_of(("r", [("x", [])]), ("r", [("x", [])]))
+        diff = diff_schemas(a, b)
+        assert diff.is_identical
+        assert diff.path_jaccard == 1.0
+        assert diff.support_drift == {}
+
+    def test_added_and_removed_paths(self):
+        old = schema_of(("r", [("x", [])]), ("r", [("x", [])]))
+        new = schema_of(("r", [("y", [])]), ("r", [("y", [])]))
+        diff = diff_schemas(old, new)
+        assert diff.added == {("r", "y")}
+        assert diff.removed == {("r", "x")}
+        assert diff.common == {("r",)}
+        assert not diff.is_identical
+
+    def test_support_drift_detected(self):
+        old = schema_of(
+            ("r", [("x", [])]), ("r", [("x", [])]), ("r", [("x", [])]),
+        )
+        new = schema_of(
+            ("r", [("x", [])]), ("r", [("x", [])]), ("r", []),
+            sup=0.5,
+        )
+        diff = diff_schemas(old, new, drift_threshold=0.1)
+        assert ("r", "x") in diff.support_drift
+        before, after = diff.support_drift[("r", "x")]
+        assert before == 1.0
+        assert after == pytest.approx(2 / 3)
+
+    def test_drift_threshold_filters(self):
+        old = schema_of(("r", [("x", [])]), ("r", [("x", [])]))
+        new = schema_of(
+            ("r", [("x", [])]), ("r", [("x", [])]), ("r", [("x", [])]),
+        )
+        diff = diff_schemas(old, new, drift_threshold=0.5)
+        assert diff.support_drift == {}
+
+    def test_summary_string(self):
+        old = schema_of(("r", [("x", [])]), ("r", [("x", [])]))
+        new = schema_of(("r", [("y", [])]), ("r", [("y", [])]))
+        text = diff_schemas(old, new).summary()
+        assert "+1" in text and "-1" in text
+
+
+class TestStability:
+    def test_identical_is_one(self):
+        a = schema_of(("r", [("x", [])]), ("r", [("x", [])]))
+        assert schema_stability(a, a) == 1.0
+
+    def test_disjoint_is_zero_ish(self):
+        a = schema_of(("r", [("x", [])]), ("r", [("x", [])]))
+        b = schema_of(("q", [("y", [])]), ("q", [("y", [])]))
+        assert schema_stability(a, b) == 0.0
+
+    def test_disjoint_corpus_samples_are_stable(self, kb, converter):
+        """Re-discovery over two halves of the same corpus barely moves
+        the schema -- the re-wrapping robustness the intro argues for."""
+        from repro.corpus.generator import ResumeCorpusGenerator
+
+        docs = ResumeCorpusGenerator(seed=1966).generate(60)
+        halves = []
+        for chunk in (docs[:30], docs[30:]):
+            documents = [
+                extract_paths(converter.convert(d.html).root) for d in chunk
+            ]
+            halves.append(
+                MajoritySchema.from_frequent_paths(
+                    mine_frequent_paths(
+                        documents,
+                        sup_threshold=0.4,
+                        constraints=kb.constraints,
+                        candidate_labels=kb.concept_tags(),
+                    )
+                )
+            )
+        stability = schema_stability(halves[0], halves[1])
+        assert stability > 0.75
+
+    def test_format_change_lowers_stability(self, kb, converter):
+        """A corpus whose authorship mix flips measurably drifts."""
+        from repro.corpus.generator import ResumeCorpusGenerator
+        from repro.corpus.styles import STYLES
+
+        def schema_for_style(style):
+            weights = {s: (1.0 if s == style else 0.0) for s in STYLES}
+            docs = ResumeCorpusGenerator(seed=5, style_weights=weights).generate(20)
+            documents = [
+                extract_paths(converter.convert(d.html).root) for d in docs
+            ]
+            return MajoritySchema.from_frequent_paths(
+                mine_frequent_paths(
+                    documents,
+                    sup_threshold=0.4,
+                    constraints=kb.constraints,
+                    candidate_labels=kb.concept_tags(),
+                )
+            )
+
+        same = schema_stability(
+            schema_for_style("heading-list"), schema_for_style("heading-list")
+        )
+        different = schema_stability(
+            schema_for_style("heading-list"), schema_for_style("font-soup")
+        )
+        assert different < same

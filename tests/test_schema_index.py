@@ -1,0 +1,91 @@
+"""Tests for the path index (Section 3.3)."""
+
+import pytest
+
+from repro.dom.node import Element
+from repro.schema.index import PathIndex
+
+
+def tree(spec):
+    tag, kids = spec
+    e = Element(tag)
+    for k in kids:
+        e.append_child(tree(k))
+    return e
+
+
+@pytest.fixture()
+def index():
+    doc_a = tree(("r", [("edu", [("d", []), ("d", [])]), ("exp", [])]))
+    doc_b = tree(("r", [("exp", []), ("edu", [("d", [])])]))
+    return PathIndex.from_documents([doc_a, doc_b])
+
+
+class TestConstruction:
+    def test_document_count(self, index):
+        assert index.document_count == 2
+
+    def test_occurrences(self, index):
+        assert index.occurrence_count(("r",)) == 2
+        assert index.occurrence_count(("r", "edu", "d")) == 3
+        assert index.occurrence_count(("r", "nope")) == 0
+
+    def test_elements_are_live_pointers(self, index):
+        elements = index.elements(("r", "edu"))
+        assert len(elements) == 2
+        assert all(e.tag == "edu" for e in elements)
+
+    def test_incremental_add(self, index):
+        index.add_document(2, tree(("r", [("edu", [])])))
+        assert index.document_count == 3
+        assert index.document_frequency(("r", "edu")) == 3
+
+
+class TestStatistics:
+    def test_document_frequency_and_support(self, index):
+        assert index.document_frequency(("r", "edu", "d")) == 2
+        assert index.support(("r", "edu", "d")) == 1.0
+        assert index.support(("r", "nope")) == 0.0
+
+    def test_avg_position_matches_ordering_rule(self, index):
+        # doc A: edu at 0; doc B: edu at 1 -> mean 0.5
+        assert index.avg_position(("r", "edu")) == pytest.approx(0.5)
+        # exp: positions 1 and 0 -> 0.5
+        assert index.avg_position(("r", "exp")) == pytest.approx(0.5)
+
+    def test_avg_position_per_document_first(self, index):
+        # d in doc A at positions 0,1 (avg .5); doc B at 0 -> (0.5+0)/2
+        assert index.avg_position(("r", "edu", "d")) == pytest.approx(0.25)
+
+    def test_avg_position_absent_is_inf(self, index):
+        assert index.avg_position(("r", "zzz")) == float("inf")
+
+    def test_agreement_with_extract_paths(self, index):
+        """The index and DocumentPaths agree on support for all paths."""
+        from repro.schema.frequent import PathStatistics
+        from repro.schema.paths import extract_paths
+
+        doc_a = tree(("r", [("edu", [("d", []), ("d", [])]), ("exp", [])]))
+        doc_b = tree(("r", [("exp", []), ("edu", [("d", [])])]))
+        stats = PathStatistics.from_documents(
+            [extract_paths(doc_a), extract_paths(doc_b)]
+        )
+        for path in stats.doc_frequency:
+            assert index.support(path) == stats.support(path)
+
+
+class TestNavigation:
+    def test_paths_with_prefix(self, index):
+        paths = index.paths_with_prefix(("r", "edu"))
+        assert paths == [("r", "edu"), ("r", "edu", "d")]
+
+    def test_child_labels(self, index):
+        assert index.child_labels(("r",)) == {"edu", "exp"}
+        assert index.child_labels(("r", "edu")) == {"d"}
+        assert index.child_labels(("r", "edu", "d")) == set()
+
+    def test_values(self):
+        root = tree(("r", [("x", [])]))
+        root.element_children()[0].set_val("hello")
+        index = PathIndex.from_documents([root])
+        assert index.values(("r", "x")) == ["hello"]

@@ -1,0 +1,98 @@
+"""Tests for the majority schema tree."""
+
+import pytest
+
+from repro.dom.node import Element
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.majority import MajoritySchema, SchemaNode
+from repro.schema.paths import extract_paths
+
+
+def docs_from(*specs):
+    def tree(spec):
+        tag, kids = spec
+        e = Element(tag)
+        for k in kids:
+            e.append_child(tree(k))
+        return e
+
+    return [extract_paths(tree(s)) for s in specs]
+
+
+@pytest.fixture()
+def schema():
+    docs = docs_from(
+        ("r", [("a", [("x", [])]), ("b", [])]),
+        ("r", [("a", [("x", [])]), ("b", [])]),
+        ("r", [("a", [])]),
+    )
+    frequent = mine_frequent_paths(docs, sup_threshold=0.6)
+    return MajoritySchema.from_frequent_paths(frequent)
+
+
+class TestConstruction:
+    def test_tree_mirrors_paths(self, schema):
+        assert schema.root.label == "r"
+        assert set(schema.root.children) == {"a", "b"}
+        assert set(schema.root.children["a"].children) == {"x"}
+
+    def test_supports_attached(self, schema):
+        assert schema.root.support == 1.0
+        assert schema.root.children["b"].support == pytest.approx(2 / 3)
+
+    def test_empty_frequent_set_rejected(self):
+        docs = docs_from(("r", []))
+        frequent = mine_frequent_paths(docs, sup_threshold=0.5)
+        frequent.paths.clear()
+        with pytest.raises(ValueError):
+            MajoritySchema.from_frequent_paths(frequent)
+
+    def test_multiple_roots_rejected(self):
+        docs = docs_from(("r", []), ("q", []))
+        frequent = mine_frequent_paths(docs, sup_threshold=0.3)
+        with pytest.raises(ValueError):
+            MajoritySchema.from_frequent_paths(frequent)
+
+
+class TestAccessors:
+    def test_contains_path(self, schema):
+        assert schema.contains_path(("r", "a", "x"))
+        assert not schema.contains_path(("r", "z"))
+
+    def test_element_count(self, schema):
+        assert schema.element_count() == 4
+
+    def test_paths_copy(self, schema):
+        paths = schema.paths()
+        paths.add(("r", "fake"))
+        assert not schema.contains_path(("r", "fake"))
+
+    def test_describe_renders_all_nodes(self, schema):
+        text = schema.describe()
+        for label in ("r", "a", "b", "x"):
+            assert label in text
+
+    def test_iter_nodes_preorder(self, schema):
+        labels = [n.label for n in schema.root.iter_nodes()]
+        assert labels[0] == "r"
+        assert set(labels) == {"r", "a", "b", "x"}
+
+
+class TestSchemaNode:
+    def test_ensure_child_idempotent(self):
+        node = SchemaNode("r", ("r",))
+        a1 = node.ensure_child("a")
+        a2 = node.ensure_child("a")
+        assert a1 is a2
+        assert a1.path == ("r", "a")
+
+    def test_child_lookup(self):
+        node = SchemaNode("r", ("r",))
+        node.ensure_child("a")
+        assert node.child("a") is not None
+        assert node.child("zzz") is None
+
+    def test_size(self):
+        node = SchemaNode("r", ("r",))
+        node.ensure_child("a").ensure_child("b")
+        assert node.size() == 3
