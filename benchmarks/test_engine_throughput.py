@@ -1,0 +1,80 @@
+"""Engine throughput: serial reference vs the parallel corpus engine.
+
+Not a paper experiment -- the engineering number behind the ROADMAP's
+"as fast as the hardware allows": docs/sec of the serial
+``convert_many`` path vs a 4-worker :class:`CorpusEngine` on a 200+
+document corpus, with the differential guarantee (identical XML bytes)
+re-checked on the way.  The speedup assertion only applies on multi-core
+hardware; on a single core the engine's value is bounded memory, not
+speed, so only equivalence is asserted there.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.evaluation.report import format_table
+from repro.runtime.engine import CorpusEngine, EngineConfig
+
+CORPUS_SIZE = 200
+WORKERS = 4
+
+
+def test_engine_throughput_serial_vs_parallel(benchmark, kb, converter, capsys):
+    html = ResumeCorpusGenerator(seed=1966).generate_html(CORPUS_SIZE)
+
+    started = time.perf_counter()
+    serial_results = converter.convert_many(html)
+    serial_seconds = time.perf_counter() - started
+    serial_xml = [result.to_xml() for result in serial_results]
+    serial_dps = CORPUS_SIZE / serial_seconds
+
+    engine = CorpusEngine(
+        kb, engine_config=EngineConfig(max_workers=WORKERS, chunk_size=16)
+    )
+    result = benchmark.pedantic(
+        lambda: engine.convert_corpus(html), rounds=1, iterations=1
+    )
+    parallel_dps = result.stats.docs_per_second
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["path", "seconds", "docs/sec"],
+                [
+                    ["serial convert_many", f"{serial_seconds:.2f}",
+                     f"{serial_dps:.1f}"],
+                    [f"engine ({WORKERS} workers)",
+                     f"{result.stats.wall_seconds:.2f}",
+                     f"{parallel_dps:.1f}"],
+                ],
+                title=f"[engine] {CORPUS_SIZE}-doc corpus throughput "
+                f"({os.cpu_count()} CPUs)",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["rule", "seconds", "share"],
+                result.stats.rule_rows(),
+                title="engine per-rule time (summed over workers)",
+            )
+        )
+
+    # Differential guarantee holds at benchmark scale too.
+    assert result.xml_documents == serial_xml
+    assert result.stats.documents == CORPUS_SIZE
+    assert parallel_dps > 0 and serial_dps > 0
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        # On multi-core hardware the pool must beat the serial path
+        # (a loose bar: pool + pickling overhead eats into the ideal
+        # cpus-times speedup, but it must at least win).
+        assert parallel_dps > serial_dps, (
+            f"parallel engine slower than serial on {cpus} CPUs: "
+            f"{parallel_dps:.1f} vs {serial_dps:.1f} docs/sec"
+        )

@@ -29,7 +29,8 @@ knowledge, synonym matcher, naive Bayes), ``convert`` (the four
 restructuring rules), ``schema`` (frequent paths, majority schema, DTD,
 baselines), ``mapping`` (tree edit distance, conformance, repository),
 ``corpus`` (synthetic resume corpus + simulated web/crawler),
-``evaluation`` (the paper's experiments).
+``evaluation`` (the paper's experiments), ``runtime`` (the parallel
+streaming corpus engine with mergeable path statistics).
 """
 
 from repro.concepts import (
@@ -52,9 +53,11 @@ from repro.mapping import (
     tree_edit_distance,
     validate_document,
 )
+from repro.runtime import CorpusEngine, EngineConfig, EngineStats
 from repro.schema import (
     DTD,
     MajoritySchema,
+    PathAccumulator,
     build_dataguide,
     build_lower_bound_schema,
     derive_dtd,
@@ -102,4 +105,9 @@ __all__ = [
     "ResumeCorpusGenerator",
     "SimulatedWeb",
     "TopicCrawler",
+    # runtime
+    "CorpusEngine",
+    "EngineConfig",
+    "EngineStats",
+    "PathAccumulator",
 ]

@@ -3,7 +3,9 @@
 Subcommands mirror the pipeline stages::
 
     repro-web gen-corpus   --count 50 --out corpus/          # synthesize HTML
-    repro-web html2xml     corpus/*.html --out xml/          # convert
+    repro-web html2xml     corpus/*.html --out xml/          # convert (serial)
+    repro-web convert-corpus corpus/*.html --out xml/ \\
+              --max-workers 4 --discover                     # parallel engine
     repro-web discover     xml/*.xml --sup 0.4               # schema + DTD
     repro-web evaluate     --docs 50                         # Figure 4 numbers
     repro-web crawl        --resumes 30 --noise 100          # simulated crawl
@@ -56,6 +58,50 @@ def _cmd_html2xml(args: argparse.Namespace) -> int:
             f"{source.name}: {result.concept_node_count} concept nodes, "
             f"{result.instance_stats.unidentified_ratio:.0%} unidentified"
         )
+    return 0
+
+
+def _cmd_convert_corpus(args: argparse.Namespace) -> int:
+    from repro.runtime.engine import CorpusEngine, EngineConfig
+
+    if args.files:
+        sources = [Path(name).read_text() for name in args.files]
+    elif args.generate:
+        sources = ResumeCorpusGenerator(seed=args.seed).generate_html(args.generate)
+    else:
+        print("convert-corpus needs input files or --generate N", file=sys.stderr)
+        return 2
+    engine = CorpusEngine(
+        build_resume_knowledge_base(),
+        engine_config=EngineConfig(
+            max_workers=args.max_workers or None, chunk_size=args.chunk_size
+        ),
+    )
+    run = engine.run(sources, sup_threshold=args.sup, ratio_threshold=args.ratio,
+                     discover=args.discover)
+    result = run.corpus
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for position, xml in enumerate(result.xml_documents):
+            if args.files and position < len(args.files):
+                stem = Path(args.files[position]).stem
+            else:
+                stem = f"doc{position:04d}"
+            (out / f"{stem}.xml").write_text(xml)
+        print(f"wrote {len(result.xml_documents)} XML documents to {out}/")
+    stats = result.stats
+    print(format_table(["engine", "value"], stats.summary_rows(),
+                       title="Corpus engine run"))
+    if stats.rule_seconds:
+        print()
+        print(format_table(["rule", "seconds", "share"], stats.rule_rows(),
+                           title="Per-rule time (summed over workers)"))
+    if run.discovery is not None:
+        print()
+        print(run.discovery.schema.describe())
+        print()
+        print(run.discovery.dtd.render())
     return 0
 
 
@@ -230,6 +276,36 @@ def build_parser() -> argparse.ArgumentParser:
     conv.add_argument("files", nargs="+")
     conv.add_argument("--out", default="xml")
     conv.set_defaults(func=_cmd_html2xml)
+
+    engine = sub.add_parser(
+        "convert-corpus",
+        help="convert a corpus with the parallel streaming engine",
+    )
+    engine.add_argument("files", nargs="*")
+    engine.add_argument(
+        "--generate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="generate N synthetic resumes instead of reading files",
+    )
+    engine.add_argument("--seed", type=int, default=1966)
+    engine.add_argument("--out", default="", help="directory for converted XML")
+    engine.add_argument(
+        "--max-workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = one per CPU, 1 = serial in-process)",
+    )
+    engine.add_argument("--chunk-size", type=int, default=16)
+    engine.add_argument(
+        "--discover",
+        action="store_true",
+        help="also mine the majority schema and print the DTD",
+    )
+    engine.add_argument("--sup", type=float, default=0.4)
+    engine.add_argument("--ratio", type=float, default=0.0)
+    engine.set_defaults(func=_cmd_convert_corpus)
 
     disc = sub.add_parser("discover", help="discover majority schema + DTD")
     disc.add_argument("files", nargs="+")

@@ -8,6 +8,7 @@ topic's root concept element.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.concepts.bayes import MultinomialNaiveBayes
@@ -20,7 +21,7 @@ from repro.convert.instance_rule import InstanceRuleStats, apply_instance_rule
 from repro.convert.tokenize_rule import apply_tokenization_rule
 from repro.dom.node import Element
 from repro.dom.serialize import to_xml_document
-from repro.dom.treeops import count_elements, tree_size
+from repro.dom.treeops import clone, count_elements, tree_size
 from repro.htmlparse.parser import body_of, parse_html
 from repro.htmlparse.tidy import tidy
 
@@ -40,6 +41,9 @@ class ConversionResult:
     groups_created: int = 0
     nodes_eliminated: int = 0
     input_nodes: int = 0
+    # Wall seconds per pipeline stage ("parse", "tidy", "tokenize",
+    # "instance", "group", "consolidate", "root") -- feeds EngineStats.
+    rule_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def concept_node_count(self) -> int:
@@ -77,19 +81,35 @@ class DocumentConverter:
 
     # -- public API ----------------------------------------------------------
 
-    def convert(self, html: str | Element) -> ConversionResult:
+    def convert(self, html: str | Element, *, copy: bool = True) -> ConversionResult:
         """Convert one HTML document (source text or pre-parsed tree).
 
-        The input tree is consumed: pass a fresh parse (or a clone) if
-        the caller needs to keep it.
+        Conversion restructures its working tree in place, so a
+        pre-parsed ``Element`` input is defensively cloned by default --
+        converting the same tree twice yields identical results.  Pass
+        ``copy=False`` to consume a throwaway tree without the cloning
+        cost (the historical behavior); the input is then mutated and
+        must not be reused.  String inputs are parsed fresh and never
+        need the guard.
         """
-        document = parse_html(html) if isinstance(html, str) else html
+        timings: dict[str, float] = {}
+        started = time.perf_counter()
+        if isinstance(html, str):
+            document = parse_html(html)
+        else:
+            document = clone(html) if copy else html
+        timings["parse"] = time.perf_counter() - started
         input_nodes = tree_size(document)
         if self.config.apply_tidy:
+            started = time.perf_counter()
             tidy(document)
+            timings["tidy"] = time.perf_counter() - started
         work_root = self._content_root(document)
 
+        started = time.perf_counter()
         tokens = apply_tokenization_rule(work_root, self.config)
+        timings["tokenize"] = time.perf_counter() - started
+        started = time.perf_counter()
         stats = apply_instance_rule(
             work_root,
             self.kb,
@@ -97,9 +117,16 @@ class DocumentConverter:
             matcher=self._matcher,
             bayes=self.bayes,
         )
+        timings["instance"] = time.perf_counter() - started
+        started = time.perf_counter()
         groups = apply_grouping_rule(work_root, self.config)
+        timings["group"] = time.perf_counter() - started
+        started = time.perf_counter()
         eliminated = apply_consolidation_rule(work_root, self.kb, self.config)
+        timings["consolidate"] = time.perf_counter() - started
+        started = time.perf_counter()
         root = self._rootify(work_root)
+        timings["root"] = time.perf_counter() - started
         return ConversionResult(
             root,
             stats,
@@ -107,10 +134,16 @@ class DocumentConverter:
             groups_created=groups,
             nodes_eliminated=eliminated,
             input_nodes=input_nodes,
+            rule_seconds=timings,
         )
 
     def convert_many(self, documents: list[str]) -> list[ConversionResult]:
-        """Convert a corpus of HTML source strings."""
+        """Convert a corpus of HTML source strings, serially.
+
+        This is the reference implementation the parallel
+        :class:`repro.runtime.CorpusEngine` is differentially tested
+        against; for large corpora prefer the engine.
+        """
         return [self.convert(source) for source in documents]
 
     # -- internals -----------------------------------------------------------

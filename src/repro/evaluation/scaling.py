@@ -6,6 +6,12 @@ linear relationship" with the number of concept nodes (and with the
 number of nodes and of documents).  Absolute times are hardware-bound
 (the paper used a Pentium 266); the reproducible claim is the *linear
 shape*, so this module reports the least-squares fit and its R².
+
+The sweep is driven by :class:`repro.runtime.CorpusEngine`, which also
+yields per-stage timings (:class:`~repro.runtime.stats.EngineStats`) for
+every point and, with ``max_workers > 1``, a parallel variant of the
+experiment -- the "how fast can this corpus go on this hardware"
+companion to the paper's single-core curve.
 """
 
 from __future__ import annotations
@@ -15,10 +21,9 @@ from dataclasses import dataclass, field
 
 from repro.concepts.knowledge import KnowledgeBase
 from repro.convert.config import ConversionConfig
-from repro.convert.pipeline import DocumentConverter
 from repro.corpus.generator import ResumeCorpusGenerator
-from repro.schema.frequent import mine_frequent_paths
-from repro.schema.paths import extract_paths
+from repro.runtime.engine import CorpusEngine, EngineConfig
+from repro.runtime.stats import EngineStats
 
 
 @dataclass
@@ -29,6 +34,9 @@ class ScalingPoint:
     nodes: int
     concept_nodes: int
     seconds: float
+    # Per-stage engine instrumentation for this sweep point (None for
+    # hand-built reports in unit tests).
+    engine_stats: EngineStats | None = None
 
 
 @dataclass
@@ -79,33 +87,38 @@ def run_scaling_experiment(
     seed: int = 1966,
     sup_threshold: float = 0.4,
     config: ConversionConfig | None = None,
+    max_workers: int = 1,
+    chunk_size: int = 16,
 ) -> ScalingReport:
     """Time the full pipeline (convert + mine) at each corpus size.
 
     Documents are generated outside the timed region; the clock covers
     exactly what the paper timed (restructuring + schema discovery).
+    The sweep runs through :class:`repro.runtime.CorpusEngine`, so
+    ``max_workers`` extends Figure 5 with parallel sweep points and each
+    :class:`ScalingPoint` carries the engine's per-stage instrumentation
+    (``max_workers=1`` is the paper's serial setting).
     """
     generator = ResumeCorpusGenerator(seed=seed)
-    converter = DocumentConverter(kb, config or ConversionConfig())
+    engine = CorpusEngine(
+        kb,
+        config or ConversionConfig(),
+        engine_config=EngineConfig(max_workers=max_workers, chunk_size=chunk_size),
+    )
     report = ScalingReport()
     for size in sizes:
         corpus = generator.generate_html(size)
         started = time.perf_counter()
-        results = [converter.convert(html) for html in corpus]
-        documents = [extract_paths(result.root) for result in results]
-        mine_frequent_paths(
-            documents,
-            sup_threshold=sup_threshold,
-            constraints=kb.constraints,
-            candidate_labels=kb.concept_tags(),
-        )
+        result = engine.convert_corpus(corpus)
+        engine.mine(result.accumulator, sup_threshold=sup_threshold)
         elapsed = time.perf_counter() - started
         report.points.append(
             ScalingPoint(
                 documents=size,
-                nodes=sum(result.input_nodes for result in results),
-                concept_nodes=sum(result.concept_node_count for result in results),
+                nodes=result.stats.input_nodes,
+                concept_nodes=result.stats.concept_nodes,
                 seconds=elapsed,
+                engine_stats=result.stats,
             )
         )
     return report

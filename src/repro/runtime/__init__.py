@@ -1,0 +1,36 @@
+"""Parallel streaming runtime (scale-out layer over Sections 2-3).
+
+* :mod:`repro.runtime.engine` -- :class:`CorpusEngine`: chunked
+  process-pool conversion with a deterministic in-order merge, plus
+  schema discovery over merged path statistics.
+* :mod:`repro.runtime.stats` -- :class:`EngineStats` / per-chunk
+  instrumentation (rule timings, docs/sec, queue depth).
+
+The engine is differentially tested against the serial
+:meth:`repro.convert.pipeline.DocumentConverter.convert_many` path:
+identical XML bytes per document and an identical discovered DTD for
+any worker count.
+"""
+
+from repro.runtime.engine import (
+    ChunkPayload,
+    CorpusEngine,
+    CorpusResult,
+    DiscoveryResult,
+    EngineConfig,
+    EngineRun,
+)
+from repro.runtime.stats import ChunkStats, EngineStats
+from repro.schema.accumulator import PathAccumulator
+
+__all__ = [
+    "CorpusEngine",
+    "EngineConfig",
+    "EngineStats",
+    "ChunkStats",
+    "ChunkPayload",
+    "CorpusResult",
+    "DiscoveryResult",
+    "EngineRun",
+    "PathAccumulator",
+]

@@ -1,0 +1,339 @@
+"""The parallel streaming corpus engine.
+
+The paper's pipeline is embarrassingly parallel per document (Section 2
+conversion) and its schema discovery (Section 3) only consumes
+corpus-level path statistics -- so :class:`CorpusEngine` splits a corpus
+into chunks, converts the chunks in a ``ProcessPoolExecutor`` whose
+workers each build the :class:`~repro.convert.pipeline.DocumentConverter`
+(and its compiled synonym matcher) exactly once, and merges results back
+**in document order**::
+
+    sources ──chunk──▶ worker pool (DocumentConverter per process)
+                          │  per chunk: XML strings + PathAccumulator
+                          ▼           + ChunkStats
+            in-order, backpressured merge
+                          │
+         CorpusResult(xml_documents, accumulator, stats)
+                          │
+         discover(): mine_frequent_paths ──▶ MajoritySchema ──▶ DTD
+
+Workers never ship trees across the process boundary: a chunk comes back
+as serialized XML plus a mergeable
+:class:`~repro.schema.accumulator.PathAccumulator`, so peak memory is
+bounded by the backpressure window regardless of corpus size, and the
+differential test harness can compare the engine byte-for-byte against
+the serial :meth:`DocumentConverter.convert_many` path.
+
+With ``max_workers=1`` the engine runs inline in the calling process
+(no pool, no pickling) -- the degenerate case the differential tests use
+to separate chunking effects from multiprocessing effects.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.concepts.bayes import MultinomialNaiveBayes
+from repro.concepts.knowledge import KnowledgeBase
+from repro.convert.config import ConversionConfig
+from repro.convert.pipeline import DocumentConverter
+from repro.runtime.stats import ChunkStats, EngineStats
+from repro.schema.accumulator import PathAccumulator
+from repro.schema.dtd import DTD, derive_dtd
+from repro.schema.frequent import FrequentPathSet, mine_frequent_paths
+from repro.schema.majority import MajoritySchema
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs of the engine.
+
+    ``max_workers=None`` uses every CPU; ``1`` forces the inline serial
+    path.  ``chunk_size`` trades scheduling overhead against load
+    balance.  ``max_pending`` bounds submitted-but-unmerged chunks
+    (default ``2 * workers``): the backpressure window that keeps the
+    in-order merge from buffering an unbounded reordering queue.
+    """
+
+    max_workers: int | None = None
+    chunk_size: int = 16
+    max_pending: int | None = None
+
+    def resolved_workers(self) -> int:
+        if self.max_workers is None:
+            return os.cpu_count() or 1
+        return max(1, self.max_workers)
+
+    def resolved_pending(self, workers: int) -> int:
+        if self.max_pending is None:
+            return max(2, 2 * workers)
+        return max(1, self.max_pending)
+
+
+@dataclass
+class ChunkPayload:
+    """Everything one worker returns for one chunk."""
+
+    xml: list[str]
+    accumulator: PathAccumulator
+    stats: ChunkStats
+
+
+@dataclass
+class CorpusResult:
+    """Outcome of converting a corpus through the engine."""
+
+    xml_documents: list[str]
+    accumulator: PathAccumulator
+    stats: EngineStats
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of schema discovery over accumulated statistics."""
+
+    frequent: FrequentPathSet
+    schema: MajoritySchema
+    dtd: DTD
+
+
+@dataclass
+class EngineRun:
+    """A full convert-then-discover pass."""
+
+    corpus: CorpusResult
+    discovery: DiscoveryResult | None = None
+
+
+# -- worker-side code ---------------------------------------------------------
+
+# One converter per worker process, built by the pool initializer so the
+# knowledge base is unpickled and the synonym matcher compiled once, not
+# once per chunk.
+_WORKER_CONVERTER: DocumentConverter | None = None
+
+
+def _init_worker(
+    kb: KnowledgeBase,
+    config: ConversionConfig,
+    bayes: MultinomialNaiveBayes | None,
+) -> None:
+    global _WORKER_CONVERTER
+    _WORKER_CONVERTER = DocumentConverter(kb, config, bayes)
+
+
+def _run_chunk(
+    converter: DocumentConverter, index: int, sources: list[str]
+) -> ChunkPayload:
+    """Convert one chunk: the shared worker/inline code path."""
+    started = time.perf_counter()
+    stats = ChunkStats(index=index, documents=len(sources))
+    xml: list[str] = []
+    accumulator = PathAccumulator()
+    for source in sources:
+        result = converter.convert(source)
+        xml.append(result.to_xml())
+        accumulator.add_tree(result.root)
+        stats.tokens_created += result.tokens_created
+        stats.groups_created += result.groups_created
+        stats.nodes_eliminated += result.nodes_eliminated
+        stats.input_nodes += result.input_nodes
+        stats.concept_nodes += result.concept_node_count
+        for rule, seconds in result.rule_seconds.items():
+            stats.rule_seconds[rule] = stats.rule_seconds.get(rule, 0.0) + seconds
+    stats.seconds = time.perf_counter() - started
+    return ChunkPayload(xml=xml, accumulator=accumulator, stats=stats)
+
+
+def _convert_chunk(payload: tuple[int, list[str]]) -> ChunkPayload:
+    """Pool task: convert a chunk with the per-process converter."""
+    index, sources = payload
+    assert _WORKER_CONVERTER is not None, "worker initializer did not run"
+    return _run_chunk(_WORKER_CONVERTER, index, sources)
+
+
+def _chunked(sources: Iterable[str], size: int) -> Iterator[list[str]]:
+    chunk: list[str] = []
+    for source in sources:
+        chunk.append(source)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class CorpusEngine:
+    """Chunked parallel conversion + streaming schema discovery.
+
+    Construct once per topic, like :class:`DocumentConverter`; the
+    knowledge base, conversion config, and optional Bayes tagger are
+    shipped to each worker exactly once per engine run.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: ConversionConfig | None = None,
+        *,
+        engine_config: EngineConfig | None = None,
+        bayes: MultinomialNaiveBayes | None = None,
+    ) -> None:
+        self.kb = kb
+        self.config = config or ConversionConfig()
+        self.engine_config = engine_config or EngineConfig()
+        self.bayes = bayes
+        self._inline_converter: DocumentConverter | None = None
+
+    # -- conversion ----------------------------------------------------------
+
+    def stream(
+        self, sources: Iterable[str], *, stats: EngineStats | None = None
+    ) -> Iterator[ChunkPayload]:
+        """Yield converted chunks **in document order**.
+
+        Results stream as soon as their chunk (and every earlier chunk)
+        finishes; at most ``max_pending`` chunks are in flight, so
+        memory stays bounded on arbitrarily large corpora.  Pass a
+        :class:`EngineStats` to have counters, timings, and queue-depth
+        instrumentation filled in as the stream drains.
+        """
+        stats = stats if stats is not None else self.new_stats()
+        started = time.perf_counter()
+        workers = stats.workers
+        chunks = enumerate(_chunked(sources, stats.chunk_size))
+        try:
+            if workers == 1:
+                converter = self._converter()
+                for index, chunk in chunks:
+                    stats.max_queue_depth = max(stats.max_queue_depth, 1)
+                    payload = _run_chunk(converter, index, chunk)
+                    stats.absorb(payload.stats)
+                    yield payload
+                return
+            max_pending = self.engine_config.resolved_pending(workers)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.kb, self.config, self.bayes),
+            ) as pool:
+                pending: deque[Future[ChunkPayload]] = deque()
+                for index, chunk in chunks:
+                    pending.append(pool.submit(_convert_chunk, (index, chunk)))
+                    stats.max_queue_depth = max(
+                        stats.max_queue_depth, len(pending)
+                    )
+                    # Backpressure: consume the oldest chunk (preserving
+                    # document order) before submitting past the window.
+                    while len(pending) >= max_pending:
+                        payload = pending.popleft().result()
+                        stats.absorb(payload.stats)
+                        yield payload
+                while pending:
+                    payload = pending.popleft().result()
+                    stats.absorb(payload.stats)
+                    yield payload
+        finally:
+            stats.wall_seconds = time.perf_counter() - started
+
+    def convert_corpus(self, sources: Iterable[str]) -> CorpusResult:
+        """Convert a corpus, collecting XML, statistics, and counters.
+
+        The returned ``xml_documents`` are byte-identical to serializing
+        the serial :meth:`DocumentConverter.convert_many` results, in
+        the same order (the differential tests enforce this).
+        """
+        stats = self.new_stats()
+        xml_documents: list[str] = []
+        accumulator = PathAccumulator()
+        for payload in self.stream(sources, stats=stats):
+            xml_documents.extend(payload.xml)
+            accumulator.update(payload.accumulator)
+        return CorpusResult(
+            xml_documents=xml_documents, accumulator=accumulator, stats=stats
+        )
+
+    # -- discovery -----------------------------------------------------------
+
+    def mine(
+        self,
+        accumulator: PathAccumulator,
+        *,
+        sup_threshold: float = 0.4,
+        ratio_threshold: float = 0.0,
+    ) -> FrequentPathSet:
+        """Frequent-path mining over accumulated statistics, using the
+        topic's constraints and concept alphabet."""
+        return mine_frequent_paths(
+            accumulator,
+            sup_threshold=sup_threshold,
+            ratio_threshold=ratio_threshold,
+            constraints=self.kb.constraints,
+            candidate_labels=self.kb.concept_tags(),
+        )
+
+    def discover(
+        self,
+        accumulator: PathAccumulator,
+        *,
+        sup_threshold: float = 0.4,
+        ratio_threshold: float = 0.0,
+        optional_threshold: float | None = None,
+    ) -> DiscoveryResult:
+        """Majority schema + DTD from accumulated statistics alone."""
+        frequent = self.mine(
+            accumulator,
+            sup_threshold=sup_threshold,
+            ratio_threshold=ratio_threshold,
+        )
+        schema = MajoritySchema.from_frequent_paths(frequent)
+        dtd = derive_dtd(
+            schema, accumulator, optional_threshold=optional_threshold
+        )
+        return DiscoveryResult(frequent=frequent, schema=schema, dtd=dtd)
+
+    def run(
+        self,
+        sources: Iterable[str],
+        *,
+        sup_threshold: float = 0.4,
+        ratio_threshold: float = 0.0,
+        optional_threshold: float | None = None,
+        discover: bool = True,
+    ) -> EngineRun:
+        """Convert a corpus and (optionally) discover its schema."""
+        corpus = self.convert_corpus(sources)
+        discovery = None
+        if discover and corpus.stats.documents:
+            discovery = self.discover(
+                corpus.accumulator,
+                sup_threshold=sup_threshold,
+                ratio_threshold=ratio_threshold,
+                optional_threshold=optional_threshold,
+            )
+        return EngineRun(corpus=corpus, discovery=discovery)
+
+    # -- internals -----------------------------------------------------------
+
+    def new_stats(self) -> EngineStats:
+        """A fresh stats sink sized to this engine's configuration."""
+        return EngineStats(
+            workers=self.engine_config.resolved_workers(),
+            chunk_size=max(1, self.engine_config.chunk_size),
+        )
+
+    def _converter(self) -> DocumentConverter:
+        """The lazily built converter for the inline (1-worker) path."""
+        if self._inline_converter is None:
+            self._inline_converter = DocumentConverter(
+                self.kb, self.config, self.bayes
+            )
+        return self._inline_converter

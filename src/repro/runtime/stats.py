@@ -1,0 +1,105 @@
+"""Engine instrumentation.
+
+:class:`ChunkStats` is what one worker reports for one chunk of
+documents; :class:`EngineStats` is the corpus-level aggregate the
+engine, the ``convert-corpus`` CLI, and the Figure 5 scaling harness
+all read.  Rule timings come from
+:attr:`repro.convert.pipeline.ConversionResult.rule_seconds`, summed
+across documents, so "where does the time go" is answerable per stage
+without a profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ChunkStats:
+    """Per-chunk counters and timings, as measured inside the worker."""
+
+    index: int
+    documents: int
+    seconds: float = 0.0
+    tokens_created: int = 0
+    groups_created: int = 0
+    nodes_eliminated: int = 0
+    input_nodes: int = 0
+    concept_nodes: int = 0
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class EngineStats:
+    """Corpus-level instrumentation of one engine run.
+
+    ``worker_seconds`` is the sum of in-worker chunk times; with ``n``
+    busy workers it exceeds ``wall_seconds`` by up to a factor of ``n``
+    (that gap *is* the parallel speedup).  ``max_queue_depth`` is the
+    largest number of submitted-but-unmerged chunks observed -- it is
+    bounded by the engine's backpressure window, which is what keeps
+    memory flat on corpora far larger than RAM.
+    """
+
+    workers: int = 1
+    chunk_size: int = 1
+    documents: int = 0
+    chunks: int = 0
+    wall_seconds: float = 0.0
+    worker_seconds: float = 0.0
+    max_queue_depth: int = 0
+    tokens_created: int = 0
+    groups_created: int = 0
+    nodes_eliminated: int = 0
+    input_nodes: int = 0
+    concept_nodes: int = 0
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+    per_chunk: list[ChunkStats] = field(default_factory=list)
+
+    @property
+    def docs_per_second(self) -> float:
+        """End-to-end corpus throughput."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.documents / self.wall_seconds
+
+    def absorb(self, chunk: ChunkStats) -> None:
+        """Fold one chunk's counters into the aggregate."""
+        self.chunks += 1
+        self.documents += chunk.documents
+        self.worker_seconds += chunk.seconds
+        self.tokens_created += chunk.tokens_created
+        self.groups_created += chunk.groups_created
+        self.nodes_eliminated += chunk.nodes_eliminated
+        self.input_nodes += chunk.input_nodes
+        self.concept_nodes += chunk.concept_nodes
+        for rule, seconds in chunk.rule_seconds.items():
+            self.rule_seconds[rule] = self.rule_seconds.get(rule, 0.0) + seconds
+        self.per_chunk.append(chunk)
+
+    def summary_rows(self) -> list[list[str]]:
+        """(name, value) rows for the CLI report table."""
+        return [
+            ["documents", str(self.documents)],
+            ["chunks", f"{self.chunks} x {self.chunk_size}"],
+            ["workers", str(self.workers)],
+            ["wall seconds", f"{self.wall_seconds:.2f}"],
+            ["worker seconds", f"{self.worker_seconds:.2f}"],
+            ["docs/sec", f"{self.docs_per_second:.1f}"],
+            ["max queue depth", str(self.max_queue_depth)],
+            ["tokens created", str(self.tokens_created)],
+            ["groups created", str(self.groups_created)],
+            ["nodes eliminated", str(self.nodes_eliminated)],
+            ["concept nodes", str(self.concept_nodes)],
+        ]
+
+    def rule_rows(self) -> list[list[str]]:
+        """(rule, seconds, share) rows, slowest stage first."""
+        total = sum(self.rule_seconds.values())
+        rows = []
+        for rule, seconds in sorted(
+            self.rule_seconds.items(), key=lambda item: -item[1]
+        ):
+            share = seconds / total if total else 0.0
+            rows.append([rule, f"{seconds:.3f}", f"{share:.0%}"])
+        return rows

@@ -2,6 +2,8 @@
 
 * :mod:`repro.schema.paths` -- reduce XML trees to root-emanating label
   paths with sibling-multiplicity and child-position bookkeeping.
+* :mod:`repro.schema.accumulator` -- incremental, mergeable path
+  statistics so discovery can stream over corpus partitions.
 * :mod:`repro.schema.frequent` -- mine frequent paths under the
   ``support``/``supportRatio`` thresholds, with constraint pruning.
 * :mod:`repro.schema.majority` -- the majority schema tree.
@@ -14,6 +16,7 @@
   (the optional step deferred to [13]).
 """
 
+from repro.schema.accumulator import PathAccumulator
 from repro.schema.dataguide import build_dataguide
 from repro.schema.dtd import DTD, DTDElement, derive_dtd
 from repro.schema.diff import diff_schemas, schema_stability
@@ -22,7 +25,13 @@ from repro.schema.homonyms import homonym_contexts, homonym_labels
 from repro.schema.index import PathIndex
 from repro.schema.lowerbound import build_lower_bound_schema
 from repro.schema.majority import MajoritySchema, SchemaNode
-from repro.schema.paths import DocumentPaths, LabelPath, extract_paths
+from repro.schema.paths import (
+    DocumentPaths,
+    LabelPath,
+    extract_corpus_paths,
+    extract_paths,
+    iter_corpus_paths,
+)
 from repro.schema.patterns import GroupPattern, discover_group_patterns
 from repro.schema.unify import unify_schema
 
@@ -30,6 +39,9 @@ __all__ = [
     "LabelPath",
     "DocumentPaths",
     "extract_paths",
+    "extract_corpus_paths",
+    "iter_corpus_paths",
+    "PathAccumulator",
     "PathStatistics",
     "FrequentPathSet",
     "mine_frequent_paths",

@@ -1,0 +1,180 @@
+"""Incremental, mergeable label-path statistics.
+
+:class:`PathAccumulator` captures everything Section 3 needs from a
+corpus -- document frequencies (frequent-path mining), sibling
+multiplicities (repetition rule), and average child positions (ordering
+rule) -- as *sufficient statistics* that can be accumulated one document
+at a time and merged across corpus partitions::
+
+    merge(a, b) == merge(b, a)                      (commutative)
+    merge(merge(a, b), c) == merge(a, merge(b, c))  (associative)
+    merge(a, PathAccumulator()) == a                (identity)
+
+(Position sums are floating point, so associativity holds up to the
+usual rounding of re-associated additions; all counters are exact.)
+
+This is what lets :class:`repro.runtime.CorpusEngine` discover a schema
+over a corpus without ever materializing every converted tree: workers
+accumulate per-chunk statistics, the parent merges them, and mining /
+DTD derivation run over the merged accumulator.
+
+Multiplicities are kept as a per-path histogram (multiplicity value ->
+number of documents) rather than a pre-thresholded count, so
+``repThreshold`` stays a query-time parameter exactly as in the
+list-of-documents code path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.dom.node import Element
+from repro.schema.paths import DocumentPaths, LabelPath, extract_paths
+
+
+@dataclass
+class PathAccumulator:
+    """Mergeable corpus-level statistics over root-emanating label paths.
+
+    ``doc_frequency[p]``        -- documents whose path set contains ``p``
+    ``position_sum[p]``         -- sum over those documents of the per-document
+                                   average child position of ``p``'s tail
+    ``multiplicity_docs[p][k]`` -- documents realizing ``p`` with a maximum
+                                   same-label sibling multiplicity of ``k``
+    """
+
+    document_count: int = 0
+    doc_frequency: Counter[LabelPath] = field(default_factory=Counter)
+    position_sum: dict[LabelPath, float] = field(default_factory=dict)
+    multiplicity_docs: dict[LabelPath, Counter[int]] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_documents(cls, documents: list[DocumentPaths]) -> "PathAccumulator":
+        """Single-pass accumulation of a corpus of path sets."""
+        accumulator = cls()
+        for doc in documents:
+            accumulator.add(doc)
+        return accumulator
+
+    @classmethod
+    def from_trees(cls, roots: list[Element]) -> "PathAccumulator":
+        """Accumulate converted XML trees directly."""
+        accumulator = cls()
+        for root in roots:
+            accumulator.add_tree(root)
+        return accumulator
+
+    def add(self, doc: DocumentPaths) -> None:
+        """Fold one document's path set into the statistics."""
+        self.document_count += 1
+        self.doc_frequency.update(doc.paths)
+        for path in doc.paths:
+            position = doc.avg_position.get(path, 0.0)
+            self.position_sum[path] = self.position_sum.get(path, 0.0) + position
+            histogram = self.multiplicity_docs.get(path)
+            if histogram is None:
+                histogram = self.multiplicity_docs[path] = Counter()
+            histogram[doc.multiplicity.get(path, 1)] += 1
+
+    def add_tree(self, root: Element) -> None:
+        """Extract one tree's paths and fold them in."""
+        self.add(extract_paths(root))
+
+    # -- merging -------------------------------------------------------------
+
+    def update(self, other: "PathAccumulator") -> None:
+        """In-place merge of another accumulator (the engine's hot path)."""
+        self.document_count += other.document_count
+        self.doc_frequency.update(other.doc_frequency)
+        for path, value in other.position_sum.items():
+            self.position_sum[path] = self.position_sum.get(path, 0.0) + value
+        for path, histogram in other.multiplicity_docs.items():
+            held = self.multiplicity_docs.get(path)
+            if held is None:
+                self.multiplicity_docs[path] = Counter(histogram)
+            else:
+                held.update(histogram)
+
+    def merge(self, other: "PathAccumulator") -> "PathAccumulator":
+        """Pure merge: a new accumulator, neither operand mutated."""
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    def copy(self) -> "PathAccumulator":
+        """An independent deep-enough copy (histograms are duplicated)."""
+        return PathAccumulator(
+            document_count=self.document_count,
+            doc_frequency=Counter(self.doc_frequency),
+            position_sum=dict(self.position_sum),
+            multiplicity_docs={
+                path: Counter(histogram)
+                for path, histogram in self.multiplicity_docs.items()
+            },
+        )
+
+    # -- mining statistics (Section 3.2) -------------------------------------
+
+    def support(self, path: LabelPath) -> float:
+        """``freq(p, S) / |D|`` in ``[0, 1]``."""
+        if self.document_count == 0:
+            return 0.0
+        return self.doc_frequency[path] / self.document_count
+
+    def support_ratio(self, path: LabelPath) -> float:
+        """``support(p) / support(parent(p))``; 1.0 for the root path."""
+        if len(path) <= 1:
+            return 1.0
+        parent_frequency = self.doc_frequency[path[:-1]]
+        if parent_frequency == 0:
+            return 0.0
+        return self.doc_frequency[path] / parent_frequency
+
+    def observed_labels(self) -> set[str]:
+        """All labels occurring anywhere in the corpus paths."""
+        labels: set[str] = set()
+        for path in self.doc_frequency:
+            labels.update(path)
+        return labels
+
+    def root_labels(self) -> list[str]:
+        """Labels observed at the root of some document, sorted."""
+        return sorted({path[0] for path in self.doc_frequency if len(path) == 1})
+
+    # -- DTD-derivation statistics (Section 3.3) -----------------------------
+
+    def avg_position(self, path: LabelPath) -> float:
+        """Average (over containing documents) of the per-document average
+        child position; ``inf`` for never-observed paths so they sort
+        last under the ordering rule."""
+        frequency = self.doc_frequency[path]
+        if frequency == 0:
+            return float("inf")
+        return self.position_sum.get(path, 0.0) / frequency
+
+    def multiplicity_fraction(
+        self, path: LabelPath, *, rep_threshold: int
+    ) -> float:
+        """``mult(e)``: fraction of path-containing documents realizing the
+        path with at least ``rep_threshold`` same-label siblings."""
+        containing = self.doc_frequency[path]
+        if containing == 0:
+            return 0.0
+        histogram = self.multiplicity_docs.get(path, Counter())
+        repetitive = sum(
+            count for value, count in histogram.items() if value >= rep_threshold
+        )
+        return repetitive / containing
+
+    def presence_fraction(self, path: LabelPath) -> float:
+        """Fraction of parent-containing documents that contain ``path``."""
+        if len(path) <= 1:
+            parent_frequency = self.document_count
+        else:
+            parent_frequency = self.doc_frequency[path[:-1]]
+        if parent_frequency == 0:
+            return 0.0
+        return self.doc_frequency[path] / parent_frequency

@@ -22,6 +22,7 @@ import enum
 import re
 from dataclasses import dataclass, field
 
+from repro.schema.accumulator import PathAccumulator
 from repro.schema.majority import MajoritySchema, SchemaNode
 from repro.schema.ordering import ordered_labels
 from repro.schema.paths import DocumentPaths
@@ -190,7 +191,7 @@ class DTD:
 
 def derive_dtd(
     schema: MajoritySchema,
-    documents: list[DocumentPaths],
+    documents: list[DocumentPaths] | PathAccumulator,
     *,
     rep_threshold: int = DEFAULT_REP_THRESHOLD,
     mult_threshold: float = DEFAULT_MULT_THRESHOLD,
@@ -200,6 +201,9 @@ def derive_dtd(
 ) -> DTD:
     """Derive a DTD from a majority schema (Section 3.3).
 
+    ``documents`` may be the materialized corpus path sets or a merged
+    :class:`~repro.schema.accumulator.PathAccumulator`; the ordering,
+    repetition, and presence statistics agree between the two sources.
     ``optional_threshold`` enables the optional-element extension the
     paper mentions: a child present in fewer than that fraction of its
     parent's documents is marked ``?`` (``*`` when also repetitive).  The

@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.concepts.constraints import ConstraintSet
+from repro.schema.accumulator import PathAccumulator
 from repro.schema.paths import DocumentPaths, LabelPath
 
 
@@ -43,6 +44,18 @@ class PathStatistics:
         for doc in documents:
             stats.doc_frequency.update(doc.paths)
         return stats
+
+    @classmethod
+    def from_accumulator(cls, accumulator: PathAccumulator) -> "PathStatistics":
+        """View merged incremental statistics as mining statistics.
+
+        The frequency counter is shared, not copied -- accumulators are
+        treated as frozen once mining starts.
+        """
+        return cls(
+            document_count=accumulator.document_count,
+            doc_frequency=accumulator.doc_frequency,
+        )
 
     def support(self, path: LabelPath) -> float:
         """``freq(p, S) / |D|`` in ``[0, 1]``."""
@@ -104,7 +117,7 @@ class FrequentPathSet:
 
 
 def mine_frequent_paths(
-    documents: list[DocumentPaths],
+    documents: list[DocumentPaths] | PathAccumulator,
     *,
     sup_threshold: float = 0.5,
     ratio_threshold: float = 0.0,
@@ -115,8 +128,12 @@ def mine_frequent_paths(
 ) -> FrequentPathSet:
     """Mine the frequent label paths of a corpus.
 
-    ``candidate_labels`` is the alphabet used to extend prefixes; it
-    defaults to the labels observed in the corpus.  Constraint checking
+    ``documents`` is either a list of per-document path sets or a
+    :class:`~repro.schema.accumulator.PathAccumulator` of merged
+    incremental statistics; both yield identical results because mining
+    only consumes document frequencies.  ``candidate_labels`` is the
+    alphabet used to extend prefixes; it defaults to the labels observed
+    in the corpus.  Constraint checking
     receives the path *without* its root label (the root concept is not a
     constrained depth level).  With ``extend_zero_support=True`` the miner
     mimics pure constraint-based enumeration: every constraint-admissible
@@ -125,7 +142,11 @@ def mine_frequent_paths(
     Section 4.2 and requires a depth bound (``constraints.max_depth`` or
     ``max_length``) to terminate.
     """
-    statistics = PathStatistics.from_documents(documents)
+    statistics = (
+        PathStatistics.from_accumulator(documents)
+        if isinstance(documents, PathAccumulator)
+        else PathStatistics.from_documents(documents)
+    )
     labels = (
         sorted(candidate_labels)
         if candidate_labels is not None
@@ -138,8 +159,11 @@ def mine_frequent_paths(
             "(constraints.max_depth or max_length)"
         )
 
-    # Roots: every label observed at the root of some document.
-    root_labels = sorted({path[0] for doc in documents for path in doc.paths if len(path) == 1})
+    # Roots: every label observed at the root of some document (the
+    # length-1 paths of the frequency table, however it was built).
+    root_labels = sorted(
+        {path[0] for path in statistics.doc_frequency if len(path) == 1}
+    )
     if not root_labels:
         root_labels = labels[:1]
 

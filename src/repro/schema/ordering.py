@@ -10,12 +10,15 @@ extraction (the "index structure" of the paper is exactly the
 
 from __future__ import annotations
 
+from repro.schema.accumulator import PathAccumulator
 from repro.schema.majority import SchemaNode
 from repro.schema.paths import DocumentPaths, LabelPath
 
+PathSource = list[DocumentPaths] | PathAccumulator
+
 
 def average_child_positions(
-    documents: list[DocumentPaths], parent_path: LabelPath, child_labels: list[str]
+    documents: PathSource, parent_path: LabelPath, child_labels: list[str]
 ) -> dict[str, float]:
     """Average (over documents containing the child path) of the average
     child position of each ``child_label`` under ``parent_path``.
@@ -23,6 +26,11 @@ def average_child_positions(
     Children never observed in any document (possible only for an empty
     corpus) default to position ``inf`` so they sort last.
     """
+    if isinstance(documents, PathAccumulator):
+        return {
+            label: documents.avg_position(parent_path + (label,))
+            for label in child_labels
+        }
     sums: dict[str, float] = {label: 0.0 for label in child_labels}
     counts: dict[str, int] = {label: 0 for label in child_labels}
     for doc in documents:
@@ -39,7 +47,7 @@ def average_child_positions(
 
 
 def order_children(
-    documents: list[DocumentPaths], node: SchemaNode
+    documents: PathSource, node: SchemaNode
 ) -> list[SchemaNode]:
     """The children of a schema node in DTD content-model order.
 
@@ -57,7 +65,7 @@ def ordered_labels(
     parent_path: LabelPath,
     labels: list[str],
     *,
-    documents: list[DocumentPaths] | None = None,
+    documents: PathSource | None = None,
     index=None,
 ) -> list[str]:
     """Labels in content-model order, from either statistics source.

@@ -19,6 +19,7 @@ child nodes does not cause any computational overhead"):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro.dom.node import Element
 
@@ -81,6 +82,18 @@ def extract_paths(root: Element) -> DocumentPaths:
     return doc
 
 
-def extract_corpus_paths(roots: list[Element]) -> list[DocumentPaths]:
-    """Path sets for a corpus of XML documents."""
-    return [extract_paths(root) for root in roots]
+def iter_corpus_paths(roots: Iterable[Element]) -> Iterator[DocumentPaths]:
+    """Lazily reduce a corpus of XML documents to path sets.
+
+    The streaming counterpart of :func:`extract_corpus_paths`: trees can
+    be discarded as soon as their statistics are folded into a
+    :class:`~repro.schema.accumulator.PathAccumulator`, so schema
+    discovery never needs the whole converted corpus in memory.
+    """
+    for root in roots:
+        yield extract_paths(root)
+
+
+def extract_corpus_paths(roots: Iterable[Element]) -> list[DocumentPaths]:
+    """Path sets for a corpus of XML documents, materialized."""
+    return list(iter_corpus_paths(roots))

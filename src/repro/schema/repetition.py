@@ -21,10 +21,15 @@ deriver can mark low-presence children ``e?``.
 
 from __future__ import annotations
 
+from repro.schema.accumulator import PathAccumulator
 from repro.schema.paths import DocumentPaths, LabelPath
 
 DEFAULT_REP_THRESHOLD = 3
 DEFAULT_MULT_THRESHOLD = 0.5
+
+# Every corpus-level question below answers from either a materialized
+# list of per-document path sets or merged incremental statistics.
+PathSource = list[DocumentPaths] | PathAccumulator
 
 
 def rep(document: DocumentPaths, path: LabelPath, rep_threshold: int) -> int:
@@ -34,13 +39,15 @@ def rep(document: DocumentPaths, path: LabelPath, rep_threshold: int) -> int:
 
 
 def multiplicity_fraction(
-    documents: list[DocumentPaths],
+    documents: PathSource,
     path: LabelPath,
     *,
     rep_threshold: int = DEFAULT_REP_THRESHOLD,
 ) -> float:
     """``mult(e)``: the fraction of path-containing documents in which
     the path's tail is repetitive."""
+    if isinstance(documents, PathAccumulator):
+        return documents.multiplicity_fraction(path, rep_threshold=rep_threshold)
     containing = [doc for doc in documents if doc.contains(path)]
     if not containing:
         return 0.0
@@ -49,7 +56,7 @@ def multiplicity_fraction(
 
 
 def is_repetitive(
-    documents: list[DocumentPaths],
+    documents: PathSource,
     path: LabelPath,
     *,
     rep_threshold: int = DEFAULT_REP_THRESHOLD,
@@ -64,13 +71,15 @@ def is_repetitive(
 
 
 def presence_fraction(
-    documents: list[DocumentPaths], path: LabelPath
+    documents: PathSource, path: LabelPath
 ) -> float:
     """Fraction of documents containing the parent that contain ``path``.
 
     1.0 means the child accompanies its parent in every document; values
     below an application-chosen threshold justify an ``e?`` marker.
     """
+    if isinstance(documents, PathAccumulator):
+        return documents.presence_fraction(path)
     if len(path) <= 1:
         containing_parent = documents
     else:

@@ -20,6 +20,13 @@ class TestParser:
         assert args.sup == 0.7
         assert args.files == ["a.xml"]
 
+    def test_convert_corpus_defaults(self):
+        args = build_parser().parse_args(["convert-corpus", "--generate", "10"])
+        assert args.generate == 10
+        assert args.max_workers == 0
+        assert args.chunk_size == 16
+        assert not args.discover
+
 
 class TestCommands:
     def test_gen_corpus_writes_files(self, tmp_path):
@@ -38,6 +45,41 @@ class TestCommands:
         xml_files = sorted(xml_out.glob("*.xml"))
         assert len(xml_files) == 2
         assert "<RESUME" in xml_files[0].read_text()
+
+    def test_convert_corpus_without_input_fails(self, capsys):
+        assert main(["convert-corpus"]) == 2
+
+    def test_convert_corpus_generated(self, tmp_path, capsys):
+        out = tmp_path / "xml"
+        assert (
+            main(
+                ["convert-corpus", "--generate", "6", "--out", str(out),
+                 "--max-workers", "2", "--chunk-size", "3", "--discover"]
+            )
+            == 0
+        )
+        assert len(sorted(out.glob("*.xml"))) == 6
+        printed = capsys.readouterr().out
+        assert "docs/sec" in printed
+        assert "instance" in printed  # per-rule timing table
+        assert "<!ELEMENT resume" in printed
+
+    def test_convert_corpus_matches_html2xml(self, tmp_path, capsys):
+        """The engine subcommand writes the same XML as the serial one."""
+        corpus = tmp_path / "corpus"
+        main(["gen-corpus", "--count", "4", "--out", str(corpus)])
+        files = [str(p) for p in sorted(corpus.glob("*.html"))]
+        serial_out, engine_out = tmp_path / "serial", tmp_path / "engine"
+        main(["html2xml", *files, "--out", str(serial_out)])
+        assert main(
+            ["convert-corpus", *files, "--out", str(engine_out),
+             "--max-workers", "2", "--chunk-size", "2"]
+        ) == 0
+        serial_files = sorted(serial_out.glob("*.xml"))
+        engine_files = sorted(engine_out.glob("*.xml"))
+        assert [p.name for p in serial_files] == [p.name for p in engine_files]
+        for serial_file, engine_file in zip(serial_files, engine_files):
+            assert serial_file.read_text() == engine_file.read_text()
 
     def test_discover_pipeline(self, tmp_path, capsys):
         corpus = tmp_path / "corpus"

@@ -97,6 +97,39 @@ class TestConverterBehavior:
         result = converter.convert(tree)
         assert result.root.tag == "RESUME"
 
+    def test_preparsed_tree_survives_conversion(self, converter):
+        """The double-convert footgun: converting a pre-parsed tree must
+        not consume it, so a second conversion sees the same input."""
+        from repro.dom.treeops import clone, deep_equal
+        from repro.htmlparse.parser import parse_html
+
+        tree = parse_html(RESUME_HTML)
+        snapshot = clone(tree)
+        first = converter.convert(tree)
+        assert deep_equal(tree, snapshot)
+        second = converter.convert(tree)
+        assert first.to_xml() == second.to_xml()
+        assert first.to_xml() == converter.convert(RESUME_HTML).to_xml()
+
+    def test_convert_copy_false_consumes_input(self, converter):
+        """Opting out of the defensive clone mutates the input in place
+        (the historical behavior, kept for throwaway trees)."""
+        from repro.dom.treeops import clone, deep_equal
+        from repro.htmlparse.parser import parse_html
+
+        tree = parse_html(RESUME_HTML)
+        snapshot = clone(tree)
+        result = converter.convert(tree, copy=False)
+        assert result.root.tag == "RESUME"
+        assert not deep_equal(tree, snapshot)
+
+    def test_per_rule_timings_recorded(self, converter):
+        result = converter.convert(RESUME_HTML)
+        assert {"parse", "tokenize", "instance", "group", "consolidate"} <= set(
+            result.rule_seconds
+        )
+        assert all(seconds >= 0.0 for seconds in result.rule_seconds.values())
+
     def test_convert_many(self, converter):
         results = converter.convert_many([RESUME_HTML, RESUME_HTML])
         assert len(results) == 2

@@ -1,0 +1,78 @@
+"""Golden regression corpus.
+
+``tests/golden/`` holds HTML inputs covering every authorship style plus
+handwritten edge cases, each paired with the XML the converter is
+expected to emit.  Any behavioral change to a conversion rule fails
+these tests with a readable unified diff, making unintended rule drift
+visible at review time.
+
+To re-bless the corpus after an *intentional* rule change::
+
+    PYTHONPATH=src python tests/test_golden_corpus.py --bless
+"""
+
+from __future__ import annotations
+
+import difflib
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+CASES = sorted(path.stem for path in GOLDEN_DIR.glob("*.html"))
+
+
+def expected_path(case: str) -> Path:
+    return GOLDEN_DIR / f"{case}.expected.xml"
+
+
+def test_corpus_is_nonempty():
+    assert len(CASES) >= 5, "golden corpus went missing"
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_conversion_matches_golden_output(converter, case):
+    html = (GOLDEN_DIR / f"{case}.html").read_text()
+    expected = expected_path(case).read_text()
+    actual = converter.convert(html).to_xml()
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"golden/{case}.expected.xml",
+                tofile="converted (current behavior)",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"conversion of golden/{case}.html changed behavior:\n{diff}\n\n"
+            "If the rule change is intentional, re-bless with:\n"
+            "  PYTHONPATH=src python tests/test_golden_corpus.py --bless"
+        )
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_conversion_is_deterministic(converter, case):
+    """The same input converts to the same bytes twice in a row."""
+    html = (GOLDEN_DIR / f"{case}.html").read_text()
+    assert converter.convert(html).to_xml() == converter.convert(html).to_xml()
+
+
+def _bless() -> None:  # pragma: no cover - maintenance entry point
+    from repro.concepts.resume_kb import build_resume_knowledge_base
+    from repro.convert.pipeline import DocumentConverter
+
+    converter = DocumentConverter(build_resume_knowledge_base())
+    for case in CASES:
+        html = (GOLDEN_DIR / f"{case}.html").read_text()
+        expected_path(case).write_text(converter.convert(html).to_xml())
+        print(f"blessed {case}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if "--bless" in sys.argv:
+        _bless()
+    else:
+        print(__doc__)

@@ -1,0 +1,153 @@
+"""Differential tests: the parallel engine must equal the serial path.
+
+For seed corpora at several sizes and worker counts the engine's output
+is compared against :meth:`DocumentConverter.convert_many`:
+
+* byte-identical serialized XML, document for document, in order;
+* an identical frequent-path set and an identical rendered DTD when
+  discovery runs over the merged accumulator instead of the
+  materialized corpus.
+
+Worker count 1 exercises the inline chunked path (chunking effects
+only); 2 and 4 exercise the process pool and the in-order merge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.engine import CorpusEngine, EngineConfig
+from repro.schema.dtd import derive_dtd
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.majority import MajoritySchema
+from repro.schema.paths import extract_paths
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+def serial_baseline(kb, converter, html):
+    """XML bytes + frequent paths + DTD via the serial reference path."""
+    results = converter.convert_many(html)
+    xml = [result.to_xml() for result in results]
+    documents = [extract_paths(result.root) for result in results]
+    frequent = mine_frequent_paths(
+        documents,
+        sup_threshold=0.4,
+        constraints=kb.constraints,
+        candidate_labels=kb.concept_tags(),
+    )
+    dtd = derive_dtd(MajoritySchema.from_frequent_paths(frequent), documents)
+    return xml, frequent, dtd
+
+
+@pytest.fixture(scope="module")
+def corpus_html(small_corpus):
+    return [doc.html for doc in small_corpus]
+
+
+@pytest.fixture(scope="module")
+def baseline(kb, converter, corpus_html):
+    return serial_baseline(kb, converter, corpus_html)
+
+
+def make_engine(kb, workers, chunk_size=3):
+    return CorpusEngine(
+        kb,
+        engine_config=EngineConfig(max_workers=workers, chunk_size=chunk_size),
+    )
+
+
+class TestDifferentialXML:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_xml_byte_identical(self, kb, corpus_html, baseline, workers):
+        serial_xml, _, _ = baseline
+        result = make_engine(kb, workers).convert_corpus(corpus_html)
+        assert result.xml_documents == serial_xml
+
+    @pytest.mark.parametrize("size", [1, 4, 7])
+    def test_sizes_straddling_chunk_boundaries(
+        self, kb, converter, corpus_html, size
+    ):
+        """Corpus sizes below, at, and above the chunk size merge in order."""
+        html = corpus_html[:size]
+        serial_xml = [result.to_xml() for result in converter.convert_many(html)]
+        result = make_engine(kb, 2, chunk_size=4).convert_corpus(html)
+        assert result.xml_documents == serial_xml
+
+    def test_empty_corpus(self, kb):
+        result = make_engine(kb, 2).convert_corpus([])
+        assert result.xml_documents == []
+        assert result.accumulator.document_count == 0
+        assert result.stats.documents == 0
+
+
+class TestDifferentialSchema:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_identical_frequent_paths_and_dtd(
+        self, kb, corpus_html, baseline, workers
+    ):
+        _, serial_frequent, serial_dtd = baseline
+        engine = make_engine(kb, workers)
+        run = engine.run(corpus_html, sup_threshold=0.4)
+        assert run.discovery is not None
+        assert run.discovery.frequent.paths == serial_frequent.paths
+        assert run.discovery.frequent.nodes_explored == serial_frequent.nodes_explored
+        assert run.discovery.dtd.render() == serial_dtd.render()
+
+    def test_accumulator_matches_materialized_statistics(
+        self, kb, converter, corpus_html
+    ):
+        """Support values agree exactly between the two representations."""
+        result = make_engine(kb, 2).convert_corpus(corpus_html)
+        documents = [
+            extract_paths(converter.convert(html).root) for html in corpus_html
+        ]
+        frequent = mine_frequent_paths(documents, sup_threshold=0.0)
+        for path in frequent.paths:
+            assert result.accumulator.support(path) == pytest.approx(
+                frequent.support(path)
+            )
+
+
+class TestEngineStats:
+    def test_stats_populated(self, kb, corpus_html):
+        result = make_engine(kb, 2, chunk_size=4).convert_corpus(corpus_html)
+        stats = result.stats
+        assert stats.documents == len(corpus_html)
+        assert stats.chunks == 3
+        assert stats.workers == 2
+        assert stats.wall_seconds > 0
+        assert stats.docs_per_second > 0
+        assert 1 <= stats.max_queue_depth <= 4
+        assert stats.tokens_created > 0
+        assert stats.concept_nodes > 0
+        assert set(stats.rule_seconds) >= {"parse", "tokenize", "instance"}
+        assert len(stats.per_chunk) == 3
+        assert [chunk.index for chunk in stats.per_chunk] == [0, 1, 2]
+
+    def test_streaming_yields_chunks_in_order(self, kb, corpus_html):
+        engine = make_engine(kb, 2, chunk_size=3)
+        stats = engine.new_stats()
+        indices = [
+            payload.stats.index
+            for payload in engine.stream(corpus_html, stats=stats)
+        ]
+        assert indices == sorted(indices)
+        assert stats.wall_seconds > 0
+
+
+@pytest.mark.slow
+class TestDifferentialLargeCorpus:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_thirty_documents(self, kb, converter, workers):
+        from repro.corpus.generator import ResumeCorpusGenerator
+
+        html = ResumeCorpusGenerator(seed=7).generate_html(30)
+        serial_xml, serial_frequent, serial_dtd = serial_baseline(
+            kb, converter, html
+        )
+        engine = make_engine(kb, workers, chunk_size=8)
+        run = engine.run(html, sup_threshold=0.4)
+        assert run.corpus.xml_documents == serial_xml
+        assert run.discovery.frequent.paths == serial_frequent.paths
+        assert run.discovery.dtd.render() == serial_dtd.render()

@@ -1,0 +1,136 @@
+"""Property-based tests for :class:`PathAccumulator` (hypothesis).
+
+The engine's correctness rests on ``merge`` being a commutative monoid
+over path statistics: any chunking of a corpus, merged in any grouping,
+must equal the single-pass accumulation.  Counters are exact integers;
+position sums are floats, so re-associated additions are compared with
+``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dom.node import Element
+from repro.schema.accumulator import PathAccumulator
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.paths import extract_paths
+
+tag_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def element_trees(draw, max_depth=3, max_children=3):
+    """Random small element trees (same shape as test_properties.py)."""
+
+    def build(depth):
+        element = Element(draw(tag_names))
+        if depth < max_depth:
+            for _ in range(draw(st.integers(0, max_children))):
+                element.append_child(build(depth + 1))
+        return element
+
+    return build(0)
+
+
+document_paths = st.builds(extract_paths, element_trees())
+corpora = st.lists(document_paths, min_size=0, max_size=8)
+
+
+def assert_equivalent(a: PathAccumulator, b: PathAccumulator) -> None:
+    """Exact on counters, approx on re-associated float position sums."""
+    assert a.document_count == b.document_count
+    assert a.doc_frequency == b.doc_frequency
+    assert a.multiplicity_docs == b.multiplicity_docs
+    assert set(a.position_sum) == set(b.position_sum)
+    for path, value in a.position_sum.items():
+        assert b.position_sum[path] == pytest.approx(value)
+
+
+class TestMonoidLaws:
+    @given(corpora)
+    def test_identity(self, docs):
+        acc = PathAccumulator.from_documents(docs)
+        empty = PathAccumulator()
+        assert acc.merge(empty) == acc
+        assert empty.merge(acc) == acc
+
+    @given(corpora, corpora)
+    def test_commutative(self, left, right):
+        a = PathAccumulator.from_documents(left)
+        b = PathAccumulator.from_documents(right)
+        # IEEE addition commutes exactly, so equality is exact here.
+        assert a.merge(b) == b.merge(a)
+
+    @given(corpora, corpora, corpora)
+    @settings(max_examples=50)
+    def test_associative(self, one, two, three):
+        a = PathAccumulator.from_documents(one)
+        b = PathAccumulator.from_documents(two)
+        c = PathAccumulator.from_documents(three)
+        assert_equivalent(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+    @given(corpora, corpora)
+    def test_merge_is_pure(self, left, right):
+        a = PathAccumulator.from_documents(left)
+        b = PathAccumulator.from_documents(right)
+        a_before, b_before = a.copy(), b.copy()
+        a.merge(b)
+        assert a == a_before
+        assert b == b_before
+
+
+class TestPartitionEquivalence:
+    @given(corpora, st.integers(min_value=1, max_value=4))
+    def test_chunked_merge_equals_single_pass(self, docs, chunk_size):
+        """Any document partition, merged in order, equals one pass."""
+        whole = PathAccumulator.from_documents(docs)
+        merged = PathAccumulator()
+        for start in range(0, len(docs), chunk_size):
+            merged.update(
+                PathAccumulator.from_documents(docs[start : start + chunk_size])
+            )
+        assert_equivalent(merged, whole)
+
+    @given(corpora, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40)
+    def test_mining_agrees_across_representations(self, docs, chunk_size):
+        """Frequent paths from merged chunks == from the document list."""
+        merged = PathAccumulator()
+        for start in range(0, len(docs), chunk_size):
+            merged.update(
+                PathAccumulator.from_documents(docs[start : start + chunk_size])
+            )
+        from_list = mine_frequent_paths(docs, sup_threshold=0.5)
+        from_acc = mine_frequent_paths(merged, sup_threshold=0.5)
+        assert from_acc.paths == from_list.paths
+        assert from_acc.nodes_explored == from_list.nodes_explored
+        assert from_acc.nodes_counted == from_list.nodes_counted
+
+
+class TestStatisticsAgreement:
+    @given(corpora)
+    @settings(max_examples=50)
+    def test_support_and_positions_match_document_lists(self, docs):
+        """Accumulator queries equal the list-based implementations."""
+        from repro.schema.ordering import average_child_positions
+        from repro.schema.repetition import multiplicity_fraction, presence_fraction
+
+        acc = PathAccumulator.from_documents(docs)
+        paths = {path for doc in docs for path in doc.paths}
+        for path in paths:
+            assert acc.presence_fraction(path) == pytest.approx(
+                presence_fraction(docs, path)
+            )
+            for threshold in (2, 3):
+                assert acc.multiplicity_fraction(
+                    path, rep_threshold=threshold
+                ) == pytest.approx(
+                    multiplicity_fraction(docs, path, rep_threshold=threshold)
+                )
+            parent, label = path[:-1], path[-1]
+            if parent:
+                expected = average_child_positions(docs, parent, [label])[label]
+                assert acc.avg_position(path) == pytest.approx(expected)
