@@ -78,3 +78,62 @@ def test_engine_throughput_serial_vs_parallel(benchmark, kb, converter, capsys):
             f"parallel engine slower than serial on {cpus} CPUs: "
             f"{parallel_dps:.1f} vs {serial_dps:.1f} docs/sec"
         )
+
+
+def test_tracing_overhead(benchmark, kb, capsys):
+    """Throughput with full tracing + provenance vs the untraced engine.
+
+    The observability budget is ~5% on the instrumented hot path; a
+    single-round wall-clock comparison is too noisy to pin 5%, so the
+    assertion is a loose guard against pathological slowdowns (traced
+    must stay within 2x) while the measured ratio is printed for the
+    CI log.  Byte-identical output is re-checked on the way.
+    """
+    from repro.obs import ProvenanceLog, Tracer
+
+    html = ResumeCorpusGenerator(seed=1966).generate_html(CORPUS_SIZE)
+    engine = CorpusEngine(
+        kb, engine_config=EngineConfig(max_workers=WORKERS, chunk_size=16)
+    )
+
+    plain = engine.convert_corpus(html)  # warm the pool/converter paths
+    started = time.perf_counter()
+    plain = engine.convert_corpus(html)
+    plain_seconds = time.perf_counter() - started
+
+    tracer = Tracer()
+    provenance = ProvenanceLog()
+    traced = benchmark.pedantic(
+        lambda: engine.convert_corpus(html, tracer=tracer, provenance=provenance),
+        rounds=1,
+        iterations=1,
+    )
+    traced_seconds = traced.stats.wall_seconds
+    overhead = traced_seconds / plain_seconds - 1.0 if plain_seconds else 0.0
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["path", "seconds", "docs/sec"],
+                [
+                    ["tracing off", f"{plain_seconds:.2f}",
+                     f"{CORPUS_SIZE / plain_seconds:.1f}"],
+                    ["tracing + provenance on", f"{traced_seconds:.2f}",
+                     f"{traced.stats.docs_per_second:.1f}"],
+                    ["overhead", f"{overhead:+.1%}", ""],
+                ],
+                title=f"[engine] tracing overhead, {CORPUS_SIZE}-doc corpus",
+            )
+        )
+        print(
+            f"  spans={len(tracer.spans)} "
+            f"events={len(provenance.events)}"
+        )
+
+    assert traced.xml_documents == plain.xml_documents
+    assert len(tracer.spans) > 0 and len(provenance.events) > 0
+    assert traced_seconds < 2.0 * max(plain_seconds, 0.05), (
+        f"tracing overhead pathological: {plain_seconds:.2f}s -> "
+        f"{traced_seconds:.2f}s"
+    )

@@ -30,7 +30,8 @@ restructuring rules), ``schema`` (frequent paths, majority schema, DTD,
 baselines), ``mapping`` (tree edit distance, conformance, repository),
 ``corpus`` (synthetic resume corpus + simulated web/crawler),
 ``evaluation`` (the paper's experiments), ``runtime`` (the parallel
-streaming corpus engine with mergeable path statistics).
+streaming corpus engine with mergeable path statistics), ``obs``
+(span tracing, metrics registry, per-document provenance).
 """
 
 from repro.concepts import (
@@ -53,6 +54,7 @@ from repro.mapping import (
     tree_edit_distance,
     validate_document,
 )
+from repro.obs import MetricsRegistry, ProvenanceLog, Tracer
 from repro.runtime import CorpusEngine, EngineConfig, EngineStats
 from repro.schema import (
     DTD,
@@ -110,4 +112,8 @@ __all__ = [
     "EngineConfig",
     "EngineStats",
     "PathAccumulator",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+    "ProvenanceLog",
 ]

@@ -5,8 +5,11 @@ Subcommands mirror the pipeline stages::
     repro-web gen-corpus   --count 50 --out corpus/          # synthesize HTML
     repro-web html2xml     corpus/*.html --out xml/          # convert (serial)
     repro-web convert-corpus corpus/*.html --out xml/ \\
-              --max-workers 4 --discover                     # parallel engine
+              --max-workers 4 --discover \\
+              --trace-out trace.jsonl --metrics-out m.prom   # parallel engine
     repro-web discover     xml/*.xml --sup 0.4               # schema + DTD
+    repro-web stats        metrics.json                      # re-render metrics
+    repro-web validate-obs --trace trace.jsonl --metrics m.prom
     repro-web evaluate     --docs 50                         # Figure 4 numbers
     repro-web crawl        --resumes 30 --noise 100          # simulated crawl
 
@@ -29,6 +32,14 @@ from repro.dom.serialize import to_xml_document
 from repro.evaluation.accuracy import evaluate_accuracy
 from repro.evaluation.report import format_histogram, format_table
 from repro.htmlparse.parser import parse_fragment
+from repro.obs import (
+    MetricsRegistry,
+    ProvenanceLog,
+    Tracer,
+    load_metrics,
+    write_metrics,
+    write_trace_jsonl,
+)
 from repro.schema.dtd import derive_dtd
 from repro.schema.frequent import mine_frequent_paths
 from repro.schema.majority import MajoritySchema
@@ -46,18 +57,33 @@ def _cmd_gen_corpus(args: argparse.Namespace) -> int:
 
 
 def _cmd_html2xml(args: argparse.Namespace) -> int:
+    from repro.runtime.stats import RULE_SECONDS, rule_rows_from_registry
+
     converter = DocumentConverter(build_resume_knowledge_base())
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    # Same per-rule timing registry the parallel engine reports, so the
+    # serial path answers "where does the time go" with the same table.
+    registry = MetricsRegistry()
     for name in args.files:
         source = Path(name)
         result = converter.convert(source.read_text())
         target = out / (source.stem + ".xml")
         target.write_text(result.to_xml())
+        for rule, seconds in result.rule_seconds.items():
+            registry.counter(RULE_SECONDS, rule=rule).inc(seconds)
         print(
             f"{source.name}: {result.concept_node_count} concept nodes, "
             f"{result.instance_stats.unidentified_ratio:.0%} unidentified"
         )
+    rows = rule_rows_from_registry(registry)
+    if rows:
+        print()
+        print(format_table(["rule", "seconds", "share"], rows,
+                           title="Per-rule time"))
+    for target_name in args.metrics_out or []:
+        write_metrics(registry, target_name)
+        print(f"wrote metrics to {target_name}")
     return 0
 
 
@@ -77,9 +103,18 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
             max_workers=args.max_workers or None, chunk_size=args.chunk_size
         ),
     )
+    tracing = bool(args.trace_out)
+    tracer = Tracer() if tracing else None
+    provenance = ProvenanceLog() if tracing else None
     run = engine.run(sources, sup_threshold=args.sup, ratio_threshold=args.ratio,
-                     discover=args.discover)
+                     discover=args.discover, tracer=tracer, provenance=provenance)
     result = run.corpus
+    if tracer is not None:
+        lines = write_trace_jsonl(args.trace_out, tracer, provenance)
+        print(f"wrote {lines} trace records to {args.trace_out}")
+    for target_name in args.metrics_out or []:
+        write_metrics(result.stats.registry, target_name)
+        print(f"wrote metrics to {target_name}")
     if args.out:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
@@ -202,6 +237,51 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.runtime.stats import EngineStats
+
+    try:
+        registry = load_metrics(args.metrics)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    stats = EngineStats.from_registry(registry)
+    print(format_table(["engine", "value"], stats.summary_rows(),
+                       title=f"Saved engine metrics ({args.metrics})"))
+    if stats.rule_seconds:
+        print()
+        print(format_table(["rule", "seconds", "share"], stats.rule_rows(),
+                           title="Per-rule time (summed over workers)"))
+    return 0
+
+
+def _cmd_validate_obs(args: argparse.Namespace) -> int:
+    from repro.obs.validate import validate_metrics_file, validate_trace_file
+
+    if not args.trace and not args.metrics:
+        print("validate-obs needs --trace and/or --metrics", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    if args.trace:
+        errors.extend(
+            f"{args.trace}: {error}"
+            for error in validate_trace_file(
+                args.trace, require_coverage=args.require_coverage
+            )
+        )
+    for metrics in args.metrics or []:
+        errors.extend(
+            f"{metrics}: {error}" for error in validate_metrics_file(metrics)
+        )
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} validation error(s)", file=sys.stderr)
+        return 1
+    print("observability artifacts valid")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     kb = build_resume_knowledge_base()
     converter = DocumentConverter(kb)
@@ -275,6 +355,13 @@ def build_parser() -> argparse.ArgumentParser:
     conv = sub.add_parser("html2xml", help="convert HTML files to XML")
     conv.add_argument("files", nargs="+")
     conv.add_argument("--out", default="xml")
+    conv.add_argument(
+        "--metrics-out",
+        action="append",
+        metavar="PATH",
+        help="write the per-rule timing registry (.prom/.txt for "
+        "Prometheus text, anything else for JSON; repeatable)",
+    )
     conv.set_defaults(func=_cmd_html2xml)
 
     engine = sub.add_parser(
@@ -305,6 +392,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine.add_argument("--sup", type=float, default=0.4)
     engine.add_argument("--ratio", type=float, default=0.0)
+    engine.add_argument(
+        "--trace-out",
+        default="",
+        metavar="PATH",
+        help="record spans + provenance events and write them as JSONL",
+    )
+    engine.add_argument(
+        "--metrics-out",
+        action="append",
+        metavar="PATH",
+        help="write the run's metrics registry (.prom/.txt for Prometheus "
+        "text, anything else for JSON; repeatable)",
+    )
     engine.set_defaults(func=_cmd_convert_corpus)
 
     disc = sub.add_parser("discover", help="discover majority schema + DTD")
@@ -332,6 +432,30 @@ def build_parser() -> argparse.ArgumentParser:
     insp.add_argument("store")
     insp.add_argument("--query", default="", help="slash path to evaluate")
     insp.set_defaults(func=_cmd_inspect)
+
+    stats = sub.add_parser(
+        "stats", help="re-render saved engine metrics (JSON) as report tables"
+    )
+    stats.add_argument("metrics", help="metrics JSON written by --metrics-out")
+    stats.set_defaults(func=_cmd_stats)
+
+    vobs = sub.add_parser(
+        "validate-obs",
+        help="validate trace JSONL / metrics files against the checked-in schema",
+    )
+    vobs.add_argument("--trace", default="", help="trace JSONL to validate")
+    vobs.add_argument(
+        "--metrics",
+        action="append",
+        metavar="PATH",
+        help="metrics file to validate (.prom/.txt exposition or JSON; repeatable)",
+    )
+    vobs.add_argument(
+        "--require-coverage",
+        action="store_true",
+        help="also require every schema-listed span name and event kind",
+    )
+    vobs.set_defaults(func=_cmd_validate_obs)
 
     ev = sub.add_parser("evaluate", help="run the Figure 4 accuracy experiment")
     ev.add_argument("--docs", type=int, default=50)

@@ -27,6 +27,11 @@ from repro.convert.config import ConversionConfig
 from repro.convert.tokenize_rule import TOKEN_TAG, token_text
 from repro.dom.node import Element
 from repro.dom.treeops import iter_preorder
+from repro.obs.provenance import ProvenanceLog, node_label_path
+
+# Bayes margin is +inf when only one class is trained; clamp so the
+# provenance JSON stays strictly valid (json.dumps(inf) is not JSON).
+_MAX_CONFIDENCE = 1e6
 
 
 @dataclass
@@ -64,12 +69,16 @@ def apply_instance_rule(
     *,
     matcher: SynonymMatcher | None = None,
     bayes: MultinomialNaiveBayes | None = None,
+    doc_id: str | None = None,
+    provenance: ProvenanceLog | None = None,
 ) -> InstanceRuleStats:
     """Resolve every ``<TOKEN>`` under ``root`` into concept elements.
 
     ``matcher`` defaults to a fresh :class:`SynonymMatcher` over ``kb``.
     With ``config.tagger`` in ``("bayes", "hybrid")`` a trained ``bayes``
-    classifier must be supplied.
+    classifier must be supplied.  With a ``provenance`` log every token
+    decision is recorded as a ``concept`` event keyed by ``doc_id`` and
+    the token's label path *before* the rewrite.
     """
     config = config or ConversionConfig()
     if config.tagger in ("bayes", "hybrid") and (bayes is None or not bayes.is_trained()):
@@ -79,8 +88,13 @@ def apply_instance_rule(
     stats = InstanceRuleStats()
     for node in list(iter_preorder(root)):
         if isinstance(node, Element) and node.tag == TOKEN_TAG and node.parent is not None:
-            _resolve_token(node, kb, config, matcher, bayes, stats)
+            _resolve_token(node, kb, config, matcher, bayes, stats, doc_id, provenance)
     return stats
+
+
+def _match_confidence(matched: str, text: str) -> float:
+    """Synonym-decision confidence: fraction of the token text matched."""
+    return len(matched) / len(text) if text else 0.0
 
 
 def _resolve_token(
@@ -90,22 +104,39 @@ def _resolve_token(
     matcher: SynonymMatcher,
     bayes: MultinomialNaiveBayes | None,
     stats: InstanceRuleStats,
+    doc_id: str | None = None,
+    provenance: ProvenanceLog | None = None,
 ) -> None:
     parent = token.parent
     assert parent is not None
     text = token_text(token)
+    # The label path must be taken while the token is still in the tree.
+    node_path = node_label_path(token) if provenance is not None else ""
     if len(text) < config.min_token_length:
         parent.append_val(text)
         token.detach()
+        if provenance is not None:
+            provenance.concept_event(
+                doc_id, node_path, "unlabeled", text=text, reason="short"
+            )
         return
 
     matches: list[InstanceMatch] = []
     if config.tagger in ("synonym", "hybrid"):
         matches = matcher.find_all(text)
     if not matches and config.tagger in ("bayes", "hybrid") and bayes is not None:
-        label = bayes.classify(text)
+        label, margin = bayes.predict(text)
         if label is not None:
             _emit_single(token, label, text, stats)
+            if provenance is not None:
+                provenance.concept_event(
+                    doc_id,
+                    node_path,
+                    "bayes",
+                    concept=label,
+                    confidence=min(margin, _MAX_CONFIDENCE),
+                    text=text,
+                )
             return
 
     if not matches:
@@ -113,14 +144,26 @@ def _resolve_token(
         parent.append_val(text)
         token.detach()
         stats.unidentified += 1
+        if provenance is not None:
+            provenance.concept_event(doc_id, node_path, "unlabeled", text=text)
         return
 
     if len(matches) == 1 or not config.split_multi_instance_tokens:
         best = max(matches, key=lambda m: (m.specificity, -m.start))
         _emit_single(token, best.concept_tag, text, stats)
+        if provenance is not None:
+            provenance.concept_event(
+                doc_id,
+                node_path,
+                "synonym",
+                concept=best.concept_tag,
+                confidence=_match_confidence(best.matched_text, text),
+                text=text,
+                matched=best.matched_text,
+            )
         return
 
-    _emit_split(token, matches, text, kb, config, stats)
+    _emit_split(token, matches, text, kb, config, stats, doc_id, node_path, provenance)
 
 
 def _emit_single(token: Element, tag: str, text: str, stats: InstanceRuleStats) -> None:
@@ -170,6 +213,9 @@ def _emit_split(
     kb: KnowledgeBase,
     config: ConversionConfig,
     stats: InstanceRuleStats,
+    doc_id: str | None = None,
+    node_path: str = "",
+    provenance: ProvenanceLog | None = None,
 ) -> None:
     """Case 1 with several instances: decompose the token.
 
@@ -198,6 +244,16 @@ def _emit_split(
 
     if len(kept) == 1:
         _emit_single(token, kept[0].concept_tag, text, stats)
+        if provenance is not None:
+            provenance.concept_event(
+                doc_id,
+                node_path,
+                "synonym",
+                concept=kept[0].concept_tag,
+                confidence=_match_confidence(kept[0].matched_text, text),
+                text=text,
+                matched=kept[0].matched_text,
+            )
         return
 
     # Text before the first identified instance goes to the parent.
@@ -214,6 +270,17 @@ def _emit_split(
         elements.append(element)
         stats.elements_created += 1
         stats._count(match.concept_tag)
+        if provenance is not None:
+            provenance.concept_event(
+                doc_id,
+                node_path,
+                "synonym",
+                concept=match.concept_tag,
+                confidence=_match_confidence(match.matched_text, text),
+                text=segment,
+                matched=match.matched_text,
+                split=True,
+            )
     token.replace_with(*elements)
     stats.identified += 1
     stats.split_tokens += 1

@@ -24,6 +24,8 @@ from repro.dom.serialize import to_xml_document
 from repro.dom.treeops import clone, count_elements, tree_size
 from repro.htmlparse.parser import body_of, parse_html
 from repro.htmlparse.tidy import tidy
+from repro.obs.provenance import ProvenanceLog
+from repro.obs.tracer import NullTracer, Tracer, resolve_tracer
 
 
 @dataclass
@@ -81,7 +83,15 @@ class DocumentConverter:
 
     # -- public API ----------------------------------------------------------
 
-    def convert(self, html: str | Element, *, copy: bool = True) -> ConversionResult:
+    def convert(
+        self,
+        html: str | Element,
+        *,
+        copy: bool = True,
+        doc_id: str | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        provenance: ProvenanceLog | None = None,
+    ) -> ConversionResult:
         """Convert one HTML document (source text or pre-parsed tree).
 
         Conversion restructures its working tree in place, so a
@@ -91,42 +101,91 @@ class DocumentConverter:
         cost (the historical behavior); the input is then mutated and
         must not be reused.  String inputs are parsed fresh and never
         need the guard.
-        """
-        timings: dict[str, float] = {}
-        started = time.perf_counter()
-        if isinstance(html, str):
-            document = parse_html(html)
-        else:
-            document = clone(html) if copy else html
-        timings["parse"] = time.perf_counter() - started
-        input_nodes = tree_size(document)
-        if self.config.apply_tidy:
-            started = time.perf_counter()
-            tidy(document)
-            timings["tidy"] = time.perf_counter() - started
-        work_root = self._content_root(document)
 
-        started = time.perf_counter()
-        tokens = apply_tokenization_rule(work_root, self.config)
-        timings["tokenize"] = time.perf_counter() - started
-        started = time.perf_counter()
-        stats = apply_instance_rule(
-            work_root,
-            self.kb,
-            self.config,
-            matcher=self._matcher,
-            bayes=self.bayes,
-        )
-        timings["instance"] = time.perf_counter() - started
-        started = time.perf_counter()
-        groups = apply_grouping_rule(work_root, self.config)
-        timings["group"] = time.perf_counter() - started
-        started = time.perf_counter()
-        eliminated = apply_consolidation_rule(work_root, self.kb, self.config)
-        timings["consolidate"] = time.perf_counter() - started
-        started = time.perf_counter()
-        root = self._rootify(work_root)
-        timings["root"] = time.perf_counter() - started
+        ``doc_id``/``tracer``/``provenance`` are the observability hooks:
+        each pipeline stage gets a span, and with a provenance log each
+        rule application plus every concept-instance decision is recorded
+        as an event.  All three default to off and leave the hot path
+        untouched.
+        """
+        tracer = resolve_tracer(tracer)
+        timings: dict[str, float] = {}
+        with tracer.span("convert.document", doc=doc_id) as doc_span:
+            started = time.perf_counter()
+            with tracer.span("convert.parse"):
+                if isinstance(html, str):
+                    document = parse_html(html)
+                else:
+                    document = clone(html) if copy else html
+            timings["parse"] = time.perf_counter() - started
+            input_nodes = tree_size(document)
+            if self.config.apply_tidy:
+                started = time.perf_counter()
+                with tracer.span("convert.tidy"):
+                    tidy(document)
+                timings["tidy"] = time.perf_counter() - started
+            work_root = self._content_root(document)
+
+            started = time.perf_counter()
+            with tracer.span("convert.tokenize") as span:
+                tokens = apply_tokenization_rule(work_root, self.config)
+                span.set(tokens=tokens)
+            timings["tokenize"] = time.perf_counter() - started
+            started = time.perf_counter()
+            with tracer.span("convert.instance") as span:
+                stats = apply_instance_rule(
+                    work_root,
+                    self.kb,
+                    self.config,
+                    matcher=self._matcher,
+                    bayes=self.bayes,
+                    doc_id=doc_id,
+                    provenance=provenance,
+                )
+                span.set(
+                    identified=stats.identified,
+                    unidentified=stats.unidentified,
+                )
+            timings["instance"] = time.perf_counter() - started
+            started = time.perf_counter()
+            with tracer.span("convert.group") as span:
+                groups = apply_grouping_rule(work_root, self.config)
+                span.set(groups=groups)
+            timings["group"] = time.perf_counter() - started
+            started = time.perf_counter()
+            with tracer.span("convert.consolidate") as span:
+                eliminated = apply_consolidation_rule(
+                    work_root, self.kb, self.config
+                )
+                span.set(eliminated=eliminated)
+            timings["consolidate"] = time.perf_counter() - started
+            started = time.perf_counter()
+            root = self._rootify(work_root)
+            timings["root"] = time.perf_counter() - started
+            doc_span.set(input_nodes=input_nodes)
+
+        if provenance is not None:
+            provenance.rule_event(
+                doc_id, "tokenize", timings["tokenize"], tokens_created=tokens
+            )
+            provenance.rule_event(
+                doc_id,
+                "instance",
+                timings["instance"],
+                identified=stats.identified,
+                unidentified=stats.unidentified,
+                split_tokens=stats.split_tokens,
+                elements_created=stats.elements_created,
+            )
+            provenance.rule_event(
+                doc_id, "group", timings["group"], groups_created=groups
+            )
+            provenance.rule_event(
+                doc_id,
+                "consolidate",
+                timings["consolidate"],
+                nodes_eliminated=eliminated,
+            )
         return ConversionResult(
             root,
             stats,

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.concepts.knowledge import KnowledgeBase
 from repro.convert.config import ConversionConfig
 from repro.corpus.generator import ResumeCorpusGenerator
+from repro.obs.tracer import NullTracer, Tracer, resolve_tracer
 from repro.runtime.engine import CorpusEngine, EngineConfig
 from repro.runtime.stats import EngineStats
 
@@ -89,6 +90,7 @@ def run_scaling_experiment(
     config: ConversionConfig | None = None,
     max_workers: int = 1,
     chunk_size: int = 16,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> ScalingReport:
     """Time the full pipeline (convert + mine) at each corpus size.
 
@@ -97,8 +99,11 @@ def run_scaling_experiment(
     The sweep runs through :class:`repro.runtime.CorpusEngine`, so
     ``max_workers`` extends Figure 5 with parallel sweep points and each
     :class:`ScalingPoint` carries the engine's per-stage instrumentation
-    (``max_workers=1`` is the paper's serial setting).
+    (``max_workers=1`` is the paper's serial setting).  A recording
+    ``tracer`` wraps each sweep point in a ``scaling.point`` span whose
+    children are the engine's own conversion/discovery spans.
     """
+    tracer = resolve_tracer(tracer)
     generator = ResumeCorpusGenerator(seed=seed)
     engine = CorpusEngine(
         kb,
@@ -108,10 +113,17 @@ def run_scaling_experiment(
     report = ScalingReport()
     for size in sizes:
         corpus = generator.generate_html(size)
-        started = time.perf_counter()
-        result = engine.convert_corpus(corpus)
-        engine.mine(result.accumulator, sup_threshold=sup_threshold)
-        elapsed = time.perf_counter() - started
+        with tracer.span("scaling.point", documents=size) as point_span:
+            started = time.perf_counter()
+            result = engine.convert_corpus(corpus, tracer=tracer)
+            engine.mine(
+                result.accumulator, sup_threshold=sup_threshold, tracer=tracer
+            )
+            elapsed = time.perf_counter() - started
+            point_span.set(
+                seconds=round(elapsed, 6),
+                concept_nodes=result.stats.concept_nodes,
+            )
         report.points.append(
             ScalingPoint(
                 documents=size,

@@ -1,0 +1,50 @@
+"""Observability layer: tracing, metrics, and provenance.
+
+Three independent primitives, all default-off with near-zero disabled
+cost, thread through the conversion/discovery pipeline:
+
+* :mod:`repro.obs.tracer` -- hierarchical :class:`Span` tracing with a
+  context-manager API and cross-process re-parenting (worker chunks
+  serialize spans; the engine grafts them under its own span tree).
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms; the engine's ``EngineStats`` is a
+  view over one; exports JSON and Prometheus text exposition.
+* :mod:`repro.obs.provenance` -- per-document JSONL events: one record
+  per rule application and per concept-instance decision (synonym match
+  vs. Bayes posterior vs. unlabeled, with confidence), keyed by doc id
+  and node label path.
+
+:mod:`repro.obs.validate` checks emitted artifacts against the
+checked-in ``trace_schema.json`` (used by CI and
+``repro-web validate-obs``); :mod:`repro.obs.export` holds the file
+writers/loaders.
+"""
+
+from repro.obs.export import load_metrics, write_metrics, write_trace_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SECONDS_BUCKETS,
+)
+from repro.obs.provenance import ProvenanceLog, node_label_path
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, resolve_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "ProvenanceLog",
+    "node_label_path",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "resolve_tracer",
+    "write_trace_jsonl",
+    "write_metrics",
+    "load_metrics",
+]

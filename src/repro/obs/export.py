@@ -1,0 +1,65 @@
+"""Writers and loaders for observability artifacts.
+
+One trace file carries both span records and provenance events (each
+line is self-describing via its ``kind`` field); metrics files pick
+their format by extension -- ``.prom``/``.txt`` get the Prometheus text
+exposition, everything else the JSON registry snapshot that
+``repro-web stats`` can re-render.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import ProvenanceLog
+from repro.obs.tracer import NullTracer, Tracer
+
+PROMETHEUS_SUFFIXES = (".prom", ".txt")
+
+
+def write_trace_jsonl(
+    path: str | Path,
+    tracer: "Tracer | NullTracer | None" = None,
+    provenance: ProvenanceLog | None = None,
+) -> int:
+    """Write spans then provenance events as JSONL; returns line count."""
+    target = Path(path)
+    written = 0
+    with target.open("w") as handle:
+        if tracer is not None:
+            for span_dict in tracer.export():
+                handle.write(json.dumps(span_dict, sort_keys=True) + "\n")
+                written += 1
+        if provenance is not None:
+            for event in provenance.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+                written += 1
+    return written
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write a registry snapshot, format chosen by file extension."""
+    target = Path(path)
+    if target.suffix in PROMETHEUS_SUFFIXES:
+        target.write_text(registry.render_prometheus())
+    else:
+        target.write_text(registry.render_json())
+    return target
+
+
+def load_metrics(path: str | Path) -> MetricsRegistry:
+    """Load a registry saved as JSON by :func:`write_metrics`.
+
+    Prometheus exposition output is one-way (it drops bucket layouts'
+    identity and metric kinds are text comments); re-rendering tables
+    needs the JSON snapshot.
+    """
+    target = Path(path)
+    if target.suffix in PROMETHEUS_SUFFIXES:
+        raise ValueError(
+            "Prometheus exposition files cannot be re-loaded; "
+            "save metrics as .json to render them with 'repro-web stats'"
+        )
+    return MetricsRegistry.from_json(json.loads(target.read_text()))

@@ -1,0 +1,311 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the single numeric sink of the pipeline: the engine's
+:class:`~repro.runtime.stats.EngineStats` is a view over one, the serial
+CLI path shares the same per-rule counters, and both export formats --
+JSON (re-loadable, rendered by ``repro-web stats``) and the Prometheus
+text exposition format -- read straight from it.
+
+Metrics are identified by ``(name, labels)``; names follow Prometheus
+conventions (``repro_engine_documents_total``), labels are a small
+``key=value`` set (``repro_rule_seconds_total{rule="instance"}``).
+Histograms use *cumulative upper-bound* buckets (``le`` semantics: an
+observation equal to a bound falls into that bound's bucket), so the
+exposition output is valid Prometheus histogram data.
+
+Everything is picklable and mergeable: worker processes can fill a
+registry and the parent folds it in with :meth:`MetricsRegistry.merge`
+(counters and histogram buckets add; gauges take the other side's value).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from typing import Iterator, Mapping, Sequence
+
+LabelSet = tuple[tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Default bucket bounds for wall-clock seconds (sub-ms to tens of
+# seconds -- one document converts in milliseconds, a chunk in tens of
+# milliseconds, a corpus in seconds).
+SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _labelset(labels: Mapping[str, str]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(labels: LabelSet, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: a named, labeled metric."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for key, _value in labels:
+            if not _LABEL_RE.match(key):
+                raise ValueError(f"invalid label name {key!r}")
+        self.name = name
+        self.labels = labels
+
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+class Counter(Metric):
+    """A monotonically increasing sum."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down (set wins over arithmetic)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (queue depths, high-water marks)."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with cumulative ``le`` export semantics.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` and
+    ``> bounds[i-1]`` (non-cumulative storage); the final implicit
+    ``+Inf`` bucket is ``bucket_counts[-1]``.  Rendering accumulates.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: LabelSet, bounds: Sequence[float]
+    ) -> None:
+        super().__init__(name, labels)
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError("histogram bounds must be sorted and distinct")
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts per ``le`` bound, cumulative, ``+Inf`` last."""
+        out: list[int] = []
+        running = 0
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """A mutable collection of metrics, mergeable and exportable."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelSet], Metric] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, labels: LabelSet, *args) -> Metric:
+        key = (name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name, labels, *args)
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, _labelset(labels))
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, _labelset(labels))
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Sequence[float] = SECONDS_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        metric = self._get_or_create(Histogram, name, _labelset(labels), buckets)
+        assert isinstance(metric, Histogram)
+        if metric.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(f"histogram {name!r} re-registered with new buckets")
+        return metric
+
+    # -- reading -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(sorted(self._metrics.values(), key=lambda m: (m.name, m.labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, **labels: str) -> Metric | None:
+        return self._metrics.get((name, _labelset(labels)))
+
+    def value(self, name: str, default: float = 0.0, **labels: str) -> float:
+        """Scalar value of a counter/gauge, ``default`` when absent."""
+        metric = self.get(name, **labels)
+        if metric is None or isinstance(metric, Histogram):
+            return default
+        return metric.value  # type: ignore[union-attr]
+
+    def find(self, name: str) -> list[Metric]:
+        """Every metric registered under ``name``, any label set."""
+        return [m for m in self if m.name == name]
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters and histogram buckets add,
+        gauges take the other side's value (last writer wins)."""
+        for metric in other:
+            if isinstance(metric, Counter):
+                self._get_or_create(Counter, metric.name, metric.labels).inc(
+                    metric.value
+                )
+            elif isinstance(metric, Gauge):
+                self._get_or_create(Gauge, metric.name, metric.labels).set(
+                    metric.value
+                )
+            elif isinstance(metric, Histogram):
+                held = self._get_or_create(
+                    Histogram, metric.name, metric.labels, metric.bounds
+                )
+                assert isinstance(held, Histogram)
+                if held.bounds != metric.bounds:
+                    raise ValueError(
+                        f"histogram {metric.name!r} bucket mismatch on merge"
+                    )
+                for i, count in enumerate(metric.bucket_counts):
+                    held.bucket_counts[i] += count
+                held.sum += metric.sum
+                held.count += metric.count
+
+    # -- export --------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_json`)."""
+        metrics = []
+        for metric in self:
+            entry: dict = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "labels": metric.label_dict(),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.bounds)
+                entry["counts"] = list(metric.bucket_counts)
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+            else:
+                entry["value"] = metric.value  # type: ignore[union-attr]
+            metrics.append(entry)
+        return {"metrics": metrics}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry saved by :meth:`to_json`."""
+        registry = cls()
+        for entry in data.get("metrics", []):
+            labels = entry.get("labels", {})
+            kind = entry.get("kind")
+            if kind == "counter":
+                registry.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "gauge":
+                registry.gauge(entry["name"], **labels).set(entry["value"])
+            elif kind == "histogram":
+                histogram = registry.histogram(
+                    entry["name"], buckets=entry["buckets"], **labels
+                )
+                histogram.bucket_counts = list(entry["counts"])
+                histogram.sum = float(entry["sum"])
+                histogram.count = int(entry["count"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+        return registry
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        typed: set[str] = set()
+        for metric in self:
+            if metric.name not in typed:
+                typed.add(metric.name)
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                cumulative = metric.cumulative_counts()
+                for bound, count in zip(metric.bounds, cumulative):
+                    labels = _render_labels(metric.labels, (("le", repr(bound)),))
+                    lines.append(f"{metric.name}_bucket{labels} {count}")
+                inf_labels = _render_labels(metric.labels, (("le", "+Inf"),))
+                lines.append(f"{metric.name}_bucket{inf_labels} {metric.count}")
+                plain = _render_labels(metric.labels)
+                lines.append(f"{metric.name}_sum{plain} {_num(metric.sum)}")
+                lines.append(f"{metric.name}_count{plain} {metric.count}")
+            else:
+                labels = _render_labels(metric.labels)
+                lines.append(f"{metric.name}{labels} {_num(metric.value)}")  # type: ignore[union-attr]
+        return "\n".join(lines) + "\n"
+
+
+def _num(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

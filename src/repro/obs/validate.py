@@ -1,0 +1,209 @@
+"""Validation of emitted observability artifacts.
+
+Two artifact classes are validated, both in CI (see the ``obs-validate``
+workflow job) and by ``repro-web validate-obs``:
+
+* the ``--trace-out`` JSONL (span + provenance records) against the
+  checked-in schema ``trace_schema.json`` shipped inside this package --
+  a deliberately small, dependency-free schema dialect: per-record-kind
+  required/optional field types (``string``, ``number``, ``boolean``,
+  ``object``, ``null``, unions with ``|``), enums, and a *coverage*
+  section naming the span names and event kinds a healthy full-pipeline
+  run must emit;
+* the ``--metrics-out`` output: Prometheus text exposition (every sample
+  matches the line grammar, every series has a ``# TYPE``, histograms
+  carry ``+Inf``/``_sum``/``_count``) or the registry JSON snapshot
+  (must round-trip through :meth:`MetricsRegistry.from_json`).
+
+All validators return a list of human-readable error strings; empty
+means valid.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+_SCHEMA_PATH = Path(__file__).with_name("trace_schema.json")
+
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "object": lambda v: isinstance(v, dict),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema(path: str | Path | None = None) -> dict:
+    """The checked-in trace schema (or one loaded from ``path``)."""
+    return json.loads(Path(path or _SCHEMA_PATH).read_text())
+
+
+def _check_type(value: object, spec: str) -> bool:
+    return any(
+        _TYPE_CHECKS[alternative](value) for alternative in spec.split("|")
+    )
+
+
+def validate_record(record: object, schema: dict, where: str = "") -> list[str]:
+    """Errors in one parsed JSONL record (empty list = valid)."""
+    prefix = f"{where}: " if where else ""
+    if not isinstance(record, dict):
+        return [f"{prefix}record is not a JSON object"]
+    kind = record.get("kind")
+    spec = schema["records"].get(kind)
+    if spec is None:
+        return [f"{prefix}unknown record kind {kind!r}"]
+    errors: list[str] = []
+    known = {**spec["required"], **spec.get("optional", {})}
+    for field, type_spec in spec["required"].items():
+        if field not in record:
+            errors.append(f"{prefix}{kind} record missing field {field!r}")
+        elif not _check_type(record[field], type_spec):
+            errors.append(
+                f"{prefix}{kind}.{field} has type "
+                f"{type(record[field]).__name__}, wanted {type_spec}"
+            )
+    for field, type_spec in spec.get("optional", {}).items():
+        if field in record and not _check_type(record[field], type_spec):
+            errors.append(
+                f"{prefix}{kind}.{field} has type "
+                f"{type(record[field]).__name__}, wanted {type_spec}"
+            )
+    if not spec.get("allow_extra", False):
+        for field in record:
+            if field not in known:
+                errors.append(f"{prefix}{kind} record has unknown field {field!r}")
+    for enum_key, allowed in schema.get("enums", {}).items():
+        enum_kind, _, enum_field = enum_key.partition(".")
+        if kind == enum_kind and enum_field in record:
+            if record[enum_field] not in allowed:
+                errors.append(
+                    f"{prefix}{kind}.{enum_field} value "
+                    f"{record[enum_field]!r} not in {allowed}"
+                )
+    return errors
+
+
+def validate_trace_lines(
+    lines: Iterable[str],
+    *,
+    schema: dict | None = None,
+    require_coverage: bool = False,
+) -> list[str]:
+    """Validate JSONL trace content line by line.
+
+    ``require_coverage`` additionally enforces the schema's coverage
+    section: every listed span name and event kind must occur at least
+    once -- the acceptance bar for a full convert+discover run.
+    """
+    schema = schema or load_schema()
+    errors: list[str] = []
+    seen_span_names: set[str] = set()
+    seen_kinds: set[str] = set()
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: invalid JSON ({exc})")
+            continue
+        errors.extend(validate_record(record, schema, where=f"line {number}"))
+        if isinstance(record, dict):
+            seen_kinds.add(record.get("kind", ""))
+            if record.get("kind") == "span":
+                seen_span_names.add(record.get("name", ""))
+    if count == 0:
+        errors.append("trace is empty")
+    if require_coverage:
+        coverage = schema.get("coverage", {})
+        for name in coverage.get("span_names", []):
+            if name not in seen_span_names:
+                errors.append(f"coverage: no span named {name!r}")
+        for kind in coverage.get("event_kinds", []):
+            if kind not in seen_kinds:
+                errors.append(f"coverage: no {kind!r} record")
+    return errors
+
+
+def validate_trace_file(
+    path: str | Path,
+    *,
+    schema: dict | None = None,
+    require_coverage: bool = False,
+) -> list[str]:
+    """Validate a ``--trace-out`` JSONL file."""
+    text = Path(path).read_text()
+    return validate_trace_lines(
+        text.splitlines(), schema=schema, require_coverage=require_coverage
+    )
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_TYPE_RE = re.compile(
+    rf"^# TYPE ({_PROM_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_PROM_HELP_RE = re.compile(rf"^# HELP {_PROM_NAME} .*$")
+_PROM_SAMPLE_RE = re.compile(
+    rf"^({_PROM_NAME})(\{{[^{{}}]*\}})? ([0-9eE+.\-]+|NaN|[+-]Inf)(\s+\d+)?$"
+)
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Errors in a Prometheus text-exposition document."""
+    errors: list[str] = []
+    declared: dict[str, str] = {}
+    samples: list[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            type_match = _PROM_TYPE_RE.match(line)
+            if type_match:
+                declared[type_match.group(1)] = type_match.group(2)
+            elif not _PROM_HELP_RE.match(line):
+                errors.append(f"line {number}: malformed comment {line!r}")
+            continue
+        sample = _PROM_SAMPLE_RE.match(line)
+        if not sample:
+            errors.append(f"line {number}: malformed sample {line!r}")
+            continue
+        samples.append(sample.group(1))
+    if not samples:
+        errors.append("no samples in exposition output")
+    for name in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in declared and base not in declared:
+            errors.append(f"sample {name!r} has no # TYPE declaration")
+    for name, kind in declared.items():
+        if kind == "histogram":
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name + suffix not in samples:
+                    errors.append(f"histogram {name!r} missing {suffix} samples")
+    return errors
+
+
+def validate_metrics_file(path: str | Path) -> list[str]:
+    """Validate a ``--metrics-out`` file (.prom exposition or .json)."""
+    target = Path(path)
+    text = target.read_text()
+    if target.suffix in (".prom", ".txt"):
+        return validate_prometheus_text(text)
+    try:
+        registry = MetricsRegistry.from_json(json.loads(text))
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        return [f"metrics JSON does not round-trip: {exc}"]
+    if len(registry) == 0:
+        return ["metrics JSON contains no metrics"]
+    return []

@@ -20,13 +20,14 @@ from repro.runtime.engine import (
     EngineConfig,
     EngineRun,
 )
-from repro.runtime.stats import ChunkStats, EngineStats
+from repro.runtime.stats import ChunkStats, EngineStats, rule_rows_from_registry
 from repro.schema.accumulator import PathAccumulator
 
 __all__ = [
     "CorpusEngine",
     "EngineConfig",
     "EngineStats",
+    "rule_rows_from_registry",
     "ChunkStats",
     "ChunkPayload",
     "CorpusResult",

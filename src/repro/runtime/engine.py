@@ -42,6 +42,8 @@ from repro.concepts.bayes import MultinomialNaiveBayes
 from repro.concepts.knowledge import KnowledgeBase
 from repro.convert.config import ConversionConfig
 from repro.convert.pipeline import DocumentConverter
+from repro.obs.provenance import ProvenanceLog
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, resolve_tracer
 from repro.runtime.stats import ChunkStats, EngineStats
 from repro.schema.accumulator import PathAccumulator
 from repro.schema.dtd import DTD, derive_dtd
@@ -77,11 +79,18 @@ class EngineConfig:
 
 @dataclass
 class ChunkPayload:
-    """Everything one worker returns for one chunk."""
+    """Everything one worker returns for one chunk.
+
+    ``spans``/``events`` carry the worker's serialized observability
+    output (``None`` when tracing/provenance is off, or when the chunk
+    ran inline and recorded straight into the caller's tracer).
+    """
 
     xml: list[str]
     accumulator: PathAccumulator
     stats: ChunkStats
+    spans: list[dict] | None = None
+    events: list[dict] | None = None
 
 
 @dataclass
@@ -114,47 +123,77 @@ class EngineRun:
 
 # One converter per worker process, built by the pool initializer so the
 # knowledge base is unpickled and the synonym matcher compiled once, not
-# once per chunk.
+# once per chunk.  The obs flags travel with it: when tracing/provenance
+# is requested, each chunk builds its own tracer/log and ships the
+# serialized output home in the payload.
 _WORKER_CONVERTER: DocumentConverter | None = None
+_WORKER_TRACE: bool = False
+_WORKER_PROVENANCE: bool = False
 
 
 def _init_worker(
     kb: KnowledgeBase,
     config: ConversionConfig,
     bayes: MultinomialNaiveBayes | None,
+    trace: bool = False,
+    provenance: bool = False,
 ) -> None:
-    global _WORKER_CONVERTER
+    global _WORKER_CONVERTER, _WORKER_TRACE, _WORKER_PROVENANCE
     _WORKER_CONVERTER = DocumentConverter(kb, config, bayes)
+    _WORKER_TRACE = trace
+    _WORKER_PROVENANCE = provenance
 
 
 def _run_chunk(
-    converter: DocumentConverter, index: int, sources: list[str]
+    converter: DocumentConverter,
+    index: int,
+    base: int,
+    sources: list[str],
+    tracer: Tracer | NullTracer = NULL_TRACER,
+    provenance: ProvenanceLog | None = None,
 ) -> ChunkPayload:
-    """Convert one chunk: the shared worker/inline code path."""
+    """Convert one chunk: the shared worker/inline code path.
+
+    ``base`` is the corpus-wide index of the chunk's first document, so
+    provenance events and spans key documents by their global position
+    regardless of which worker converted them.
+    """
     started = time.perf_counter()
     stats = ChunkStats(index=index, documents=len(sources))
     xml: list[str] = []
     accumulator = PathAccumulator()
-    for source in sources:
-        result = converter.convert(source)
-        xml.append(result.to_xml())
-        accumulator.add_tree(result.root)
-        stats.tokens_created += result.tokens_created
-        stats.groups_created += result.groups_created
-        stats.nodes_eliminated += result.nodes_eliminated
-        stats.input_nodes += result.input_nodes
-        stats.concept_nodes += result.concept_node_count
-        for rule, seconds in result.rule_seconds.items():
-            stats.rule_seconds[rule] = stats.rule_seconds.get(rule, 0.0) + seconds
+    with tracer.span("engine.chunk", chunk=index, documents=len(sources)):
+        for offset, source in enumerate(sources):
+            doc_id = f"doc{base + offset:04d}"
+            result = converter.convert(
+                source, doc_id=doc_id, tracer=tracer, provenance=provenance
+            )
+            xml.append(result.to_xml())
+            with tracer.span("discover.extract_paths", doc=doc_id):
+                accumulator.add_tree(result.root)
+            stats.tokens_created += result.tokens_created
+            stats.groups_created += result.groups_created
+            stats.nodes_eliminated += result.nodes_eliminated
+            stats.input_nodes += result.input_nodes
+            stats.concept_nodes += result.concept_node_count
+            for rule, seconds in result.rule_seconds.items():
+                stats.rule_seconds[rule] = stats.rule_seconds.get(rule, 0.0) + seconds
     stats.seconds = time.perf_counter() - started
     return ChunkPayload(xml=xml, accumulator=accumulator, stats=stats)
 
 
-def _convert_chunk(payload: tuple[int, list[str]]) -> ChunkPayload:
+def _convert_chunk(payload: tuple[int, int, list[str]]) -> ChunkPayload:
     """Pool task: convert a chunk with the per-process converter."""
-    index, sources = payload
+    index, base, sources = payload
     assert _WORKER_CONVERTER is not None, "worker initializer did not run"
-    return _run_chunk(_WORKER_CONVERTER, index, sources)
+    tracer: Tracer | NullTracer = Tracer(id_prefix="w") if _WORKER_TRACE else NULL_TRACER
+    provenance = ProvenanceLog() if _WORKER_PROVENANCE else None
+    chunk = _run_chunk(_WORKER_CONVERTER, index, base, sources, tracer, provenance)
+    if _WORKER_TRACE:
+        chunk.spans = tracer.export()
+    if provenance is not None:
+        chunk.events = provenance.events
+    return chunk
 
 
 def _chunked(sources: Iterable[str], size: int) -> Iterator[list[str]]:
@@ -196,7 +235,12 @@ class CorpusEngine:
     # -- conversion ----------------------------------------------------------
 
     def stream(
-        self, sources: Iterable[str], *, stats: EngineStats | None = None
+        self,
+        sources: Iterable[str],
+        *,
+        stats: EngineStats | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        provenance: ProvenanceLog | None = None,
     ) -> Iterator[ChunkPayload]:
         """Yield converted chunks **in document order**.
 
@@ -205,17 +249,41 @@ class CorpusEngine:
         memory stays bounded on arbitrarily large corpora.  Pass a
         :class:`EngineStats` to have counters, timings, and queue-depth
         instrumentation filled in as the stream drains.
+
+        With a recording ``tracer``/``provenance``, workers build their
+        own tracer per chunk and ship serialized spans/events back; the
+        merge loop re-parents the spans under this tracer's current span
+        (namespaced by chunk index) and appends the events in document
+        order -- the cross-process half of the span tree.
         """
         stats = stats if stats is not None else self.new_stats()
+        tracer = resolve_tracer(tracer)
         started = time.perf_counter()
         workers = stats.workers
         chunks = enumerate(_chunked(sources, stats.chunk_size))
+        doc_cursor = 0
+
+        def merge(payload: ChunkPayload) -> ChunkPayload:
+            stats.absorb(payload.stats)
+            if payload.spans:
+                tracer.adopt(
+                    payload.spans, prefix=f"c{payload.stats.index}."
+                )
+            if payload.events and provenance is not None:
+                provenance.extend(payload.events)
+            return payload
+
         try:
             if workers == 1:
                 converter = self._converter()
                 for index, chunk in chunks:
                     stats.max_queue_depth = max(stats.max_queue_depth, 1)
-                    payload = _run_chunk(converter, index, chunk)
+                    # Inline: record straight into the caller's tracer --
+                    # nothing to re-parent, payload.spans stays None.
+                    payload = _run_chunk(
+                        converter, index, doc_cursor, chunk, tracer, provenance
+                    )
+                    doc_cursor += len(chunk)
                     stats.absorb(payload.stats)
                     yield payload
                 return
@@ -223,40 +291,57 @@ class CorpusEngine:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.kb, self.config, self.bayes),
+                initargs=(
+                    self.kb,
+                    self.config,
+                    self.bayes,
+                    tracer.enabled,
+                    provenance is not None,
+                ),
             ) as pool:
                 pending: deque[Future[ChunkPayload]] = deque()
                 for index, chunk in chunks:
-                    pending.append(pool.submit(_convert_chunk, (index, chunk)))
+                    pending.append(
+                        pool.submit(_convert_chunk, (index, doc_cursor, chunk))
+                    )
+                    doc_cursor += len(chunk)
                     stats.max_queue_depth = max(
                         stats.max_queue_depth, len(pending)
                     )
                     # Backpressure: consume the oldest chunk (preserving
                     # document order) before submitting past the window.
                     while len(pending) >= max_pending:
-                        payload = pending.popleft().result()
-                        stats.absorb(payload.stats)
-                        yield payload
+                        yield merge(pending.popleft().result())
                 while pending:
-                    payload = pending.popleft().result()
-                    stats.absorb(payload.stats)
-                    yield payload
+                    yield merge(pending.popleft().result())
         finally:
             stats.wall_seconds = time.perf_counter() - started
 
-    def convert_corpus(self, sources: Iterable[str]) -> CorpusResult:
+    def convert_corpus(
+        self,
+        sources: Iterable[str],
+        *,
+        tracer: Tracer | NullTracer | None = None,
+        provenance: ProvenanceLog | None = None,
+    ) -> CorpusResult:
         """Convert a corpus, collecting XML, statistics, and counters.
 
         The returned ``xml_documents`` are byte-identical to serializing
         the serial :meth:`DocumentConverter.convert_many` results, in
-        the same order (the differential tests enforce this).
+        the same order (the differential tests enforce this -- with
+        tracing on or off).
         """
+        tracer = resolve_tracer(tracer)
         stats = self.new_stats()
         xml_documents: list[str] = []
         accumulator = PathAccumulator()
-        for payload in self.stream(sources, stats=stats):
-            xml_documents.extend(payload.xml)
-            accumulator.update(payload.accumulator)
+        with tracer.span("engine.convert_corpus") as span:
+            for payload in self.stream(
+                sources, stats=stats, tracer=tracer, provenance=provenance
+            ):
+                xml_documents.extend(payload.xml)
+                accumulator.update(payload.accumulator)
+            span.set(documents=stats.documents, chunks=stats.chunks)
         return CorpusResult(
             xml_documents=xml_documents, accumulator=accumulator, stats=stats
         )
@@ -269,16 +354,24 @@ class CorpusEngine:
         *,
         sup_threshold: float = 0.4,
         ratio_threshold: float = 0.0,
+        tracer: Tracer | NullTracer | None = None,
     ) -> FrequentPathSet:
         """Frequent-path mining over accumulated statistics, using the
         topic's constraints and concept alphabet."""
-        return mine_frequent_paths(
-            accumulator,
-            sup_threshold=sup_threshold,
-            ratio_threshold=ratio_threshold,
-            constraints=self.kb.constraints,
-            candidate_labels=self.kb.concept_tags(),
-        )
+        tracer = resolve_tracer(tracer)
+        with tracer.span("discover.mine_frequent") as span:
+            frequent = mine_frequent_paths(
+                accumulator,
+                sup_threshold=sup_threshold,
+                ratio_threshold=ratio_threshold,
+                constraints=self.kb.constraints,
+                candidate_labels=self.kb.concept_tags(),
+            )
+            span.set(
+                frequent_paths=len(frequent.paths),
+                nodes_explored=frequent.nodes_explored,
+            )
+        return frequent
 
     def discover(
         self,
@@ -287,16 +380,24 @@ class CorpusEngine:
         sup_threshold: float = 0.4,
         ratio_threshold: float = 0.0,
         optional_threshold: float | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> DiscoveryResult:
         """Majority schema + DTD from accumulated statistics alone."""
+        tracer = resolve_tracer(tracer)
         frequent = self.mine(
             accumulator,
             sup_threshold=sup_threshold,
             ratio_threshold=ratio_threshold,
+            tracer=tracer,
         )
-        schema = MajoritySchema.from_frequent_paths(frequent)
+        with tracer.span("discover.majority_schema") as span:
+            schema = MajoritySchema.from_frequent_paths(frequent)
+            span.set(elements=schema.element_count())
         dtd = derive_dtd(
-            schema, accumulator, optional_threshold=optional_threshold
+            schema,
+            accumulator,
+            optional_threshold=optional_threshold,
+            tracer=tracer,
         )
         return DiscoveryResult(frequent=frequent, schema=schema, dtd=dtd)
 
@@ -308,17 +409,24 @@ class CorpusEngine:
         ratio_threshold: float = 0.0,
         optional_threshold: float | None = None,
         discover: bool = True,
+        tracer: Tracer | NullTracer | None = None,
+        provenance: ProvenanceLog | None = None,
     ) -> EngineRun:
         """Convert a corpus and (optionally) discover its schema."""
-        corpus = self.convert_corpus(sources)
-        discovery = None
-        if discover and corpus.stats.documents:
-            discovery = self.discover(
-                corpus.accumulator,
-                sup_threshold=sup_threshold,
-                ratio_threshold=ratio_threshold,
-                optional_threshold=optional_threshold,
+        tracer = resolve_tracer(tracer)
+        with tracer.span("engine.run"):
+            corpus = self.convert_corpus(
+                sources, tracer=tracer, provenance=provenance
             )
+            discovery = None
+            if discover and corpus.stats.documents:
+                discovery = self.discover(
+                    corpus.accumulator,
+                    sup_threshold=sup_threshold,
+                    ratio_threshold=ratio_threshold,
+                    optional_threshold=optional_threshold,
+                    tracer=tracer,
+                )
         return EngineRun(corpus=corpus, discovery=discovery)
 
     # -- internals -----------------------------------------------------------

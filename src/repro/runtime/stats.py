@@ -1,9 +1,16 @@
-"""Engine instrumentation.
+"""Engine instrumentation, built on the metrics registry.
 
-:class:`ChunkStats` is what one worker reports for one chunk of
-documents; :class:`EngineStats` is the corpus-level aggregate the
-engine, the ``convert-corpus`` CLI, and the Figure 5 scaling harness
-all read.  Rule timings come from
+:class:`ChunkStats` is the picklable wire record one worker reports for
+one chunk of documents.  :class:`EngineStats` is the corpus-level
+aggregate the engine, the ``convert-corpus`` CLI, and the Figure 5
+scaling harness all read -- since the observability PR it is a *view*
+over a :class:`repro.obs.metrics.MetricsRegistry`: every counter it
+absorbs lands in named metrics (``repro_engine_documents_total``,
+``repro_rule_seconds_total{rule=...}``, a chunk-seconds histogram, ...),
+so one engine run exports directly as JSON or Prometheus text and
+``repro-web stats`` can re-render a saved snapshot as these same tables.
+
+Rule timings come from
 :attr:`repro.convert.pipeline.ConversionResult.rule_seconds`, summed
 across documents, so "where does the time go" is answerable per stage
 without a profiler.
@@ -13,10 +20,38 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry
+
+# Metric names of the engine's registry schema.
+DOCUMENTS = "repro_engine_documents_total"
+CHUNKS = "repro_engine_chunks_total"
+TOKENS_CREATED = "repro_engine_tokens_created_total"
+GROUPS_CREATED = "repro_engine_groups_created_total"
+NODES_ELIMINATED = "repro_engine_nodes_eliminated_total"
+INPUT_NODES = "repro_engine_input_nodes_total"
+CONCEPT_NODES = "repro_engine_concept_nodes_total"
+WORKER_SECONDS = "repro_engine_worker_seconds_total"
+WALL_SECONDS = "repro_engine_wall_seconds"
+MAX_QUEUE_DEPTH = "repro_engine_max_queue_depth"
+WORKERS = "repro_engine_workers"
+CHUNK_SIZE = "repro_engine_chunk_size"
+RULE_SECONDS = "repro_rule_seconds_total"
+CHUNK_SECONDS_HISTOGRAM = "repro_engine_chunk_seconds"
+
+# Below this wall-clock resolution, documents/wall_seconds stops being a
+# throughput and starts being timer noise (sub-millisecond runs round to
+# absurd docs/sec figures); the divisor is floored here instead.
+MIN_WALL_SECONDS = 1e-3
+
 
 @dataclass
 class ChunkStats:
-    """Per-chunk counters and timings, as measured inside the worker."""
+    """Per-chunk counters and timings, as measured inside the worker.
+
+    This is the wire format crossing the process boundary (plain
+    picklable dataclass); the parent folds it into the registry-backed
+    :class:`EngineStats` with :meth:`EngineStats.absorb`.
+    """
 
     index: int
     documents: int
@@ -29,9 +64,24 @@ class ChunkStats:
     rule_seconds: dict[str, float] = field(default_factory=dict)
 
 
-@dataclass
+def rule_rows_from_registry(registry: MetricsRegistry) -> list[list[str]]:
+    """(rule, seconds, share) rows from ``repro_rule_seconds_total``
+    counters, slowest stage first -- shared by the engine stats table,
+    the serial ``html2xml`` summary, and ``repro-web stats``."""
+    timings = {
+        metric.label_dict().get("rule", "?"): metric.value  # type: ignore[union-attr]
+        for metric in registry.find(RULE_SECONDS)
+    }
+    total = sum(timings.values())
+    rows = []
+    for rule, seconds in sorted(timings.items(), key=lambda item: -item[1]):
+        share = seconds / total if total else 0.0
+        rows.append([rule, f"{seconds:.3f}", f"{share:.0%}"])
+    return rows
+
+
 class EngineStats:
-    """Corpus-level instrumentation of one engine run.
+    """Corpus-level instrumentation of one engine run (registry view).
 
     ``worker_seconds`` is the sum of in-worker chunk times; with ``n``
     busy workers it exceeds ``wall_seconds`` by up to a factor of ``n``
@@ -39,43 +89,139 @@ class EngineStats:
     largest number of submitted-but-unmerged chunks observed -- it is
     bounded by the engine's backpressure window, which is what keeps
     memory flat on corpora far larger than RAM.
+
+    All counters live in :attr:`registry`; the attribute API
+    (``stats.documents`` etc.) is preserved as properties over it.
     """
 
-    workers: int = 1
-    chunk_size: int = 1
-    documents: int = 0
-    chunks: int = 0
-    wall_seconds: float = 0.0
-    worker_seconds: float = 0.0
-    max_queue_depth: int = 0
-    tokens_created: int = 0
-    groups_created: int = 0
-    nodes_eliminated: int = 0
-    input_nodes: int = 0
-    concept_nodes: int = 0
-    rule_seconds: dict[str, float] = field(default_factory=dict)
-    per_chunk: list[ChunkStats] = field(default_factory=list)
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int = 1,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.per_chunk: list[ChunkStats] = []
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    # -- registry-backed attributes ------------------------------------------
+
+    def _count(self, name: str) -> int:
+        return int(self.registry.value(name))
+
+    @property
+    def workers(self) -> int:
+        return int(self.registry.value(WORKERS, default=1))
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        self.registry.gauge(WORKERS).set(value)
+
+    @property
+    def chunk_size(self) -> int:
+        return int(self.registry.value(CHUNK_SIZE, default=1))
+
+    @chunk_size.setter
+    def chunk_size(self, value: int) -> None:
+        self.registry.gauge(CHUNK_SIZE).set(value)
+
+    @property
+    def documents(self) -> int:
+        return self._count(DOCUMENTS)
+
+    @property
+    def chunks(self) -> int:
+        return self._count(CHUNKS)
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.registry.value(WALL_SECONDS)
+
+    @wall_seconds.setter
+    def wall_seconds(self, value: float) -> None:
+        self.registry.gauge(WALL_SECONDS).set(value)
+
+    @property
+    def worker_seconds(self) -> float:
+        return self.registry.value(WORKER_SECONDS)
+
+    @property
+    def max_queue_depth(self) -> int:
+        return self._count(MAX_QUEUE_DEPTH)
+
+    @max_queue_depth.setter
+    def max_queue_depth(self, value: int) -> None:
+        self.registry.gauge(MAX_QUEUE_DEPTH).set(value)
+
+    @property
+    def tokens_created(self) -> int:
+        return self._count(TOKENS_CREATED)
+
+    @property
+    def groups_created(self) -> int:
+        return self._count(GROUPS_CREATED)
+
+    @property
+    def nodes_eliminated(self) -> int:
+        return self._count(NODES_ELIMINATED)
+
+    @property
+    def input_nodes(self) -> int:
+        return self._count(INPUT_NODES)
+
+    @property
+    def concept_nodes(self) -> int:
+        return self._count(CONCEPT_NODES)
+
+    @property
+    def rule_seconds(self) -> dict[str, float]:
+        """Per-stage seconds summed over workers, from the registry."""
+        return {
+            metric.label_dict().get("rule", "?"): metric.value  # type: ignore[union-attr]
+            for metric in self.registry.find(RULE_SECONDS)
+        }
 
     @property
     def docs_per_second(self) -> float:
-        """End-to-end corpus throughput."""
-        if self.wall_seconds <= 0.0:
+        """End-to-end corpus throughput.
+
+        The wall clock is floored at :data:`MIN_WALL_SECONDS`: a
+        sub-millisecond measurement is timer noise and would otherwise
+        round a tiny corpus into a six-figure docs/sec headline.
+        """
+        if self.wall_seconds <= 0.0 or self.documents == 0:
             return 0.0
-        return self.documents / self.wall_seconds
+        return self.documents / max(self.wall_seconds, MIN_WALL_SECONDS)
+
+    # -- aggregation ---------------------------------------------------------
 
     def absorb(self, chunk: ChunkStats) -> None:
-        """Fold one chunk's counters into the aggregate."""
-        self.chunks += 1
-        self.documents += chunk.documents
-        self.worker_seconds += chunk.seconds
-        self.tokens_created += chunk.tokens_created
-        self.groups_created += chunk.groups_created
-        self.nodes_eliminated += chunk.nodes_eliminated
-        self.input_nodes += chunk.input_nodes
-        self.concept_nodes += chunk.concept_nodes
+        """Fold one chunk's counters into the registry."""
+        registry = self.registry
+        registry.counter(CHUNKS).inc()
+        registry.counter(DOCUMENTS).inc(chunk.documents)
+        registry.counter(WORKER_SECONDS).inc(chunk.seconds)
+        registry.counter(TOKENS_CREATED).inc(chunk.tokens_created)
+        registry.counter(GROUPS_CREATED).inc(chunk.groups_created)
+        registry.counter(NODES_ELIMINATED).inc(chunk.nodes_eliminated)
+        registry.counter(INPUT_NODES).inc(chunk.input_nodes)
+        registry.counter(CONCEPT_NODES).inc(chunk.concept_nodes)
         for rule, seconds in chunk.rule_seconds.items():
-            self.rule_seconds[rule] = self.rule_seconds.get(rule, 0.0) + seconds
+            registry.counter(RULE_SECONDS, rule=rule).inc(seconds)
+        registry.histogram(CHUNK_SECONDS_HISTOGRAM).observe(chunk.seconds)
         self.per_chunk.append(chunk)
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "EngineStats":
+        """View a saved registry snapshot (``repro-web stats``) as engine
+        statistics; ``per_chunk`` detail is not persisted."""
+        stats = cls.__new__(cls)
+        stats.registry = registry
+        stats.per_chunk = []
+        return stats
+
+    # -- report tables -------------------------------------------------------
 
     def summary_rows(self) -> list[list[str]]:
         """(name, value) rows for the CLI report table."""
@@ -87,6 +233,7 @@ class EngineStats:
             ["worker seconds", f"{self.worker_seconds:.2f}"],
             ["docs/sec", f"{self.docs_per_second:.1f}"],
             ["max queue depth", str(self.max_queue_depth)],
+            ["input nodes", str(self.input_nodes)],
             ["tokens created", str(self.tokens_created)],
             ["groups created", str(self.groups_created)],
             ["nodes eliminated", str(self.nodes_eliminated)],
@@ -95,11 +242,4 @@ class EngineStats:
 
     def rule_rows(self) -> list[list[str]]:
         """(rule, seconds, share) rows, slowest stage first."""
-        total = sum(self.rule_seconds.values())
-        rows = []
-        for rule, seconds in sorted(
-            self.rule_seconds.items(), key=lambda item: -item[1]
-        ):
-            share = seconds / total if total else 0.0
-            rows.append([rule, f"{seconds:.3f}", f"{share:.0%}"])
-        return rows
+        return rule_rows_from_registry(self.registry)

@@ -22,6 +22,7 @@ import enum
 import re
 from dataclasses import dataclass, field
 
+from repro.obs.tracer import NullTracer, Tracer, resolve_tracer
 from repro.schema.accumulator import PathAccumulator
 from repro.schema.majority import MajoritySchema, SchemaNode
 from repro.schema.ordering import ordered_labels
@@ -198,6 +199,7 @@ def derive_dtd(
     optional_threshold: float | None = None,
     lowercase_names: bool = True,
     index=None,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> DTD:
     """Derive a DTD from a majority schema (Section 3.3).
 
@@ -212,40 +214,52 @@ def derive_dtd(
     XML documents) to the lower-case names the paper's DTD uses.
     ``index`` (a :class:`repro.schema.index.PathIndex` over the same
     corpus) accelerates the ordering rule as Section 3.3 suggests.
+    ``tracer`` records the derivation as a ``discover.derive_dtd`` span
+    with a nested ``discover.repetition_ordering`` span covering the
+    per-node repetition/ordering rule work.
     """
+    tracer = resolve_tracer(tracer)
 
     def dtd_name(label: str) -> str:
         return label.lower() if lowercase_names else label
 
-    dtd = DTD(dtd_name(schema.root.label))
-    queue: list[SchemaNode] = [schema.root]
-    while queue:
-        node = queue.pop(0)
-        labels = list(node.children)
-        if index is not None:
-            order = ordered_labels(node.path, labels, index=index)
-        else:
-            order = ordered_labels(node.path, labels, documents=documents)
-        particles: list[ContentParticle] = []
-        for label in order:
-            child_path = node.path + (label,)
-            multiplicity = Multiplicity.ONE
-            if is_repetitive(
-                documents,
-                child_path,
-                rep_threshold=rep_threshold,
-                mult_threshold=mult_threshold,
-            ):
-                multiplicity = Multiplicity.PLUS
-            if (
-                optional_threshold is not None
-                and presence_fraction(documents, child_path) < optional_threshold
-            ):
-                multiplicity = multiplicity.combine(Multiplicity.OPTIONAL)
-            particles.append(ContentParticle(dtd_name(label), multiplicity))
-        dtd.declare(DTDElement(dtd_name(node.label), particles))
-        queue.extend(node.children.values())
-    _break_required_cycles(dtd)
+    with tracer.span("discover.derive_dtd") as derive_span:
+        dtd = DTD(dtd_name(schema.root.label))
+        with tracer.span("discover.repetition_ordering") as order_span:
+            nodes_ordered = 0
+            queue: list[SchemaNode] = [schema.root]
+            while queue:
+                node = queue.pop(0)
+                labels = list(node.children)
+                if index is not None:
+                    order = ordered_labels(node.path, labels, index=index)
+                else:
+                    order = ordered_labels(node.path, labels, documents=documents)
+                particles: list[ContentParticle] = []
+                for label in order:
+                    child_path = node.path + (label,)
+                    multiplicity = Multiplicity.ONE
+                    if is_repetitive(
+                        documents,
+                        child_path,
+                        rep_threshold=rep_threshold,
+                        mult_threshold=mult_threshold,
+                    ):
+                        multiplicity = Multiplicity.PLUS
+                    if (
+                        optional_threshold is not None
+                        and presence_fraction(documents, child_path)
+                        < optional_threshold
+                    ):
+                        multiplicity = multiplicity.combine(Multiplicity.OPTIONAL)
+                    particles.append(ContentParticle(dtd_name(label), multiplicity))
+                dtd.declare(DTDElement(dtd_name(node.label), particles))
+                queue.extend(node.children.values())
+                nodes_ordered += 1
+            order_span.set(schema_nodes=nodes_ordered)
+        with tracer.span("discover.cycle_break"):
+            _break_required_cycles(dtd)
+        derive_span.set(elements=dtd.element_count())
     return dtd
 
 

@@ -1,0 +1,180 @@
+"""Metrics registry: counters/gauges/histograms, exports, merging.
+
+The histogram bucket-edge tests pin the Prometheus ``le`` convention
+(a value equal to a bound falls in that bound's bucket); the exposition
+tests check the text format against both the repo's own validator and
+hand-written expectations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import SECONDS_BUCKETS, MetricsRegistry
+from repro.obs.validate import validate_prometheus_text
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("jobs_total") == 5.0
+
+    def test_labelsets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("rule_seconds_total", rule="parse").inc(1.5)
+        registry.counter("rule_seconds_total", rule="tidy").inc(0.5)
+        assert registry.value("rule_seconds_total", rule="parse") == 1.5
+        assert registry.value("rule_seconds_total", rule="tidy") == 0.5
+        assert len(registry.find("rule_seconds_total")) == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1", b="2").inc()
+        registry.counter("c", b="2", a="1").inc()
+        assert registry.value("c", a="1", b="2") == 2.0
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(3)
+        gauge.max(2)
+        assert registry.value("queue_depth") == 3.0
+        gauge.max(7)
+        assert registry.value("queue_depth") == 7.0
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_bound_falls_in_that_bucket(self):
+        """Prometheus ``le`` is inclusive: observe(0.01) lands in the
+        le="0.01" bucket, not the next one up."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.01)
+        assert histogram.bucket_counts == [1, 0, 0, 0]
+
+    def test_value_just_above_bound_falls_in_next(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.010001)
+        assert histogram.bucket_counts == [0, 1, 0, 0]
+
+    def test_value_above_top_bound_goes_to_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.01, 0.1, 1.0))
+        histogram.observe(50.0)
+        assert histogram.bucket_counts == [0, 0, 0, 1]
+
+    def test_cumulative_counts_are_monotone_and_end_at_total(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        cumulative = histogram.cumulative_counts()
+        assert cumulative == [2, 3, 4, 5]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.0)
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 0.5))
+
+    def test_default_seconds_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        assert tuple(histogram.bounds) == SECONDS_BUCKETS
+
+
+class TestPrometheusExposition:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_docs_total").inc(50)
+        registry.counter("repro_rule_seconds_total", rule="parse").inc(0.25)
+        registry.gauge("repro_workers").set(4)
+        histogram = registry.histogram("repro_chunk_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        return registry
+
+    def test_exposition_passes_validator(self):
+        text = self.build().render_prometheus()
+        assert validate_prometheus_text(text) == []
+
+    def test_type_lines_and_samples(self):
+        lines = self.build().render_prometheus().splitlines()
+        assert "# TYPE repro_docs_total counter" in lines
+        assert "# TYPE repro_workers gauge" in lines
+        assert "# TYPE repro_chunk_seconds histogram" in lines
+        assert "repro_docs_total 50" in lines
+        assert 'repro_rule_seconds_total{rule="parse"} 0.25' in lines
+        assert "repro_workers 4" in lines
+
+    def test_histogram_series_cumulative_with_inf(self):
+        lines = self.build().render_prometheus().splitlines()
+        assert 'repro_chunk_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_chunk_seconds_bucket{le="1.0"} 2' in lines
+        assert 'repro_chunk_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_chunk_seconds_count 3" in lines
+        assert any(line.startswith("repro_chunk_seconds_sum ") for line in lines)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert r'c{path="a\"b\\c\nd"} 1' in text
+        assert validate_prometheus_text(text) == []
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_all_series(self):
+        registry = TestPrometheusExposition().build()
+        clone = MetricsRegistry.from_json(json.loads(registry.render_json()))
+        assert clone.value("repro_docs_total") == 50
+        assert clone.value("repro_rule_seconds_total", rule="parse") == 0.25
+        assert clone.value("repro_workers") == 4
+        histogram = clone.histogram("repro_chunk_seconds", buckets=(0.1, 1.0))
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert clone.render_prometheus() == registry.render_prometheus()
+
+
+class TestMerge:
+    def test_counters_and_histograms_add_gauges_overwrite(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.counter("docs").inc(2)
+        right.counter("docs").inc(3)
+        left.gauge("workers").set(1)
+        right.gauge("workers").set(8)
+        left.histogram("h", buckets=(1.0,)).observe(0.5)
+        right.histogram("h", buckets=(1.0,)).observe(2.0)
+        left.merge(right)
+        assert left.value("docs") == 5
+        assert left.value("workers") == 8
+        assert left.histogram("h", buckets=(1.0,)).bucket_counts == [1, 1]
+
+
+class TestValidation:
+    def test_bad_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name!")
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")

@@ -125,6 +125,37 @@ class TestEngineStats:
         assert len(stats.per_chunk) == 3
         assert [chunk.index for chunk in stats.per_chunk] == [0, 1, 2]
 
+    def test_summary_rows_include_input_nodes(self, kb, corpus_html):
+        result = make_engine(kb, 1).convert_corpus(corpus_html)
+        rows = dict(result.stats.summary_rows())
+        assert rows["input nodes"] == str(result.stats.input_nodes)
+        assert int(rows["input nodes"]) > 0
+
+    def test_docs_per_second_guards_sub_millisecond_wall(self):
+        from repro.runtime.stats import MIN_WALL_SECONDS, ChunkStats, EngineStats
+
+        stats = EngineStats(workers=1, chunk_size=1)
+        stats.absorb(ChunkStats(index=0, documents=100))
+        stats.wall_seconds = 1e-7  # timer noise, not a real measurement
+        assert stats.docs_per_second == pytest.approx(100 / MIN_WALL_SECONDS)
+        stats.wall_seconds = 0.0
+        assert stats.docs_per_second == 0.0
+        stats.wall_seconds = 2.0
+        assert stats.docs_per_second == pytest.approx(50.0)
+
+    def test_stats_round_trip_through_registry_json(self, kb, corpus_html):
+        import json
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.runtime.stats import EngineStats
+
+        result = make_engine(kb, 2, chunk_size=4).convert_corpus(corpus_html)
+        snapshot = json.loads(result.stats.registry.render_json())
+        restored = EngineStats.from_registry(MetricsRegistry.from_json(snapshot))
+        assert restored.documents == result.stats.documents
+        assert restored.rule_seconds == pytest.approx(result.stats.rule_seconds)
+        assert restored.summary_rows() == result.stats.summary_rows()
+
     def test_streaming_yields_chunks_in_order(self, kb, corpus_html):
         engine = make_engine(kb, 2, chunk_size=3)
         stats = engine.new_stats()
