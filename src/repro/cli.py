@@ -56,10 +56,18 @@ def _cmd_gen_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _conversion_config(args: argparse.Namespace) -> "ConversionConfig":
+    from repro.convert.config import ConversionConfig
+
+    return ConversionConfig(fast_tagger=not args.no_fast_tagger)
+
+
 def _cmd_html2xml(args: argparse.Namespace) -> int:
     from repro.runtime.stats import RULE_SECONDS, rule_rows_from_registry
 
-    converter = DocumentConverter(build_resume_knowledge_base())
+    converter = DocumentConverter(
+        build_resume_knowledge_base(), _conversion_config(args)
+    )
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     # Same per-rule timing registry the parallel engine reports, so the
@@ -99,6 +107,7 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
         return 2
     engine = CorpusEngine(
         build_resume_knowledge_base(),
+        _conversion_config(args),
         engine_config=EngineConfig(
             max_workers=args.max_workers or None, chunk_size=args.chunk_size
         ),
@@ -362,6 +371,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the per-rule timing registry (.prom/.txt for "
         "Prometheus text, anything else for JSON; repeatable)",
     )
+    conv.add_argument(
+        "--no-fast-tagger",
+        action="store_true",
+        help="disable the Aho-Corasick tagging fast path (differential "
+        "baseline; output is guaranteed identical either way)",
+    )
     conv.set_defaults(func=_cmd_html2xml)
 
     engine = sub.add_parser(
@@ -404,6 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the run's metrics registry (.prom/.txt for Prometheus "
         "text, anything else for JSON; repeatable)",
+    )
+    engine.add_argument(
+        "--no-fast-tagger",
+        action="store_true",
+        help="disable the Aho-Corasick tagging fast path (differential "
+        "baseline; output is guaranteed identical either way)",
     )
     engine.set_defaults(func=_cmd_convert_corpus)
 

@@ -11,12 +11,21 @@ discovery (Section 4.2).
 * :mod:`repro.concepts.resume_kb` -- the paper's resume domain: 24
   concepts, 233 instances, 11 title / 13 content names.
 * :mod:`repro.concepts.matcher` -- synonym-based instance identification.
+* :mod:`repro.concepts.fastmatch` -- the Aho-Corasick tagging fast path
+  (automaton + memoized token decisions), differentially equivalent to
+  the naive matcher.
 * :mod:`repro.concepts.bayes` -- the multinomial naive-Bayes classifier
   alternative ([12] in the paper).
 """
 
 from repro.concepts.bayes import MultinomialNaiveBayes
 from repro.concepts.concept import Concept, ConceptInstance, ConceptRole
+from repro.concepts.fastmatch import (
+    AhoCorasickAutomaton,
+    CachedBayes,
+    FastSynonymMatcher,
+    LRUCache,
+)
 from repro.concepts.discovery import (
     InstanceProposal,
     augment_knowledge_base,
@@ -42,6 +51,10 @@ __all__ = [
     "DepthConstraint",
     "KnowledgeBase",
     "SynonymMatcher",
+    "FastSynonymMatcher",
+    "AhoCorasickAutomaton",
+    "CachedBayes",
+    "LRUCache",
     "InstanceMatch",
     "MultinomialNaiveBayes",
     "build_resume_knowledge_base",

@@ -19,9 +19,25 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.concepts.textutil import normalized_words
+
+
+@dataclass(frozen=True)
+class _FoldedTables:
+    """Train-time-folded inference tables.
+
+    ``key`` fingerprints the training state (version counter + alpha)
+    the tables were derived from, so mutation after folding triggers a
+    rebuild instead of serving stale probabilities.
+    """
+
+    key: tuple[int, float]
+    priors: dict[str, float]
+    word_logprob: dict[str, dict[str, float]]
+    unknown_logprob: dict[str, float]
 
 
 class MultinomialNaiveBayes:
@@ -37,6 +53,12 @@ class MultinomialNaiveBayes:
         self._class_doc_counts: Counter[str] = Counter()
         self._vocabulary: set[str] = set()
         self._total_docs = 0
+        # Folded inference tables (see _folded); rebuilt lazily whenever
+        # training data or alpha changes.  version lets caching wrappers
+        # (repro.concepts.fastmatch.CachedBayes) invalidate memoized
+        # predictions after online training.
+        self.version = 0
+        self._tables: _FoldedTables | None = None
 
     # -- training -----------------------------------------------------------
 
@@ -62,6 +84,8 @@ class MultinomialNaiveBayes:
         self._class_word_totals[label] += len(words)
         self._class_doc_counts[label] += 1
         self._total_docs += 1
+        self.version += 1
+        self._tables = None
 
     @property
     def classes(self) -> list[str]:
@@ -79,22 +103,52 @@ class MultinomialNaiveBayes:
 
     # -- inference ----------------------------------------------------------
 
+    def _folded(self) -> "_FoldedTables":
+        """Per-class log-probability tables, folded once after training.
+
+        Inference then reduces to dict lookups plus additions: the same
+        ``log((count + alpha) / denom)`` expressions the naive formula
+        evaluates per word per call, computed once per distinct
+        ``(label, word)`` instead.  Scores are bit-identical because the
+        folded values come from the identical float expressions and are
+        summed in the same word order.
+        """
+        tables = self._tables
+        if tables is None or tables.key != (self.version, self.alpha):
+            vocab = len(self._vocabulary) or 1
+            priors: dict[str, float] = {}
+            word_logprob: dict[str, dict[str, float]] = {}
+            unknown_logprob: dict[str, float] = {}
+            for label in self._class_doc_counts:
+                priors[label] = math.log(
+                    self._class_doc_counts[label] / self._total_docs
+                )
+                denom = self._class_word_totals[label] + self.alpha * vocab
+                counts = self._word_counts.get(label, {})
+                word_logprob[label] = {
+                    word: math.log((count + self.alpha) / denom)
+                    for word, count in counts.items()
+                }
+                unknown_logprob[label] = math.log(self.alpha / denom)
+            tables = self._tables = _FoldedTables(
+                (self.version, self.alpha), priors, word_logprob, unknown_logprob
+            )
+        return tables
+
+    def _score_words(self, words: Sequence[str]) -> dict[str, float]:
+        tables = self._folded()
+        scores: dict[str, float] = {}
+        for label, prior in tables.priors.items():
+            table = tables.word_logprob[label]
+            unknown = tables.unknown_logprob[label]
+            scores[label] = prior + sum(table.get(word, unknown) for word in words)
+        return scores
+
     def log_posteriors(self, text: str) -> dict[str, float]:
         """Unnormalized log posterior per class for ``text``."""
         if not self.is_trained():
             raise RuntimeError("classifier has not been trained")
-        words = normalized_words(text)
-        vocab = len(self._vocabulary) or 1
-        scores: dict[str, float] = {}
-        for label in self._class_doc_counts:
-            prior = math.log(self._class_doc_counts[label] / self._total_docs)
-            denom = self._class_word_totals[label] + self.alpha * vocab
-            likelihood = sum(
-                math.log((self._word_counts[label][word] + self.alpha) / denom)
-                for word in words
-            )
-            scores[label] = prior + likelihood
-        return scores
+        return self._score_words(normalized_words(text))
 
     def predict(self, text: str) -> tuple[Optional[str], float]:
         """Best label and its winning margin (nats) for ``text``.
@@ -106,7 +160,7 @@ class MultinomialNaiveBayes:
         words = normalized_words(text)
         if not words or not any(word in self._vocabulary for word in words):
             return None, 0.0
-        scores = self.log_posteriors(text)
+        scores = self._score_words(words)
         ranked = sorted(scores.items(), key=lambda kv: kv[1], reverse=True)
         best_label, best_score = ranked[0]
         margin = best_score - ranked[1][1] if len(ranked) > 1 else math.inf

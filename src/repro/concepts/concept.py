@@ -42,15 +42,27 @@ class ConceptInstance:
     is_regex: bool = False
 
     def compile(self) -> re.Pattern[str]:
-        """The compiled matcher for this instance."""
-        if self.is_regex:
-            return re.compile(self.pattern, re.IGNORECASE)
-        escaped = re.escape(self.pattern)
-        # Word-boundary semantics that tolerate the pattern itself
-        # starting/ending with punctuation (e.g. "C++").
-        prefix = r"(?<![A-Za-z0-9])" if self.pattern[:1].isalnum() else ""
-        suffix = r"(?![A-Za-z0-9])" if self.pattern[-1:].isalnum() else ""
-        return re.compile(prefix + escaped + suffix, re.IGNORECASE)
+        """The compiled matcher for this instance (memoized).
+
+        The pattern is compiled at most once per instance; repeated
+        callers (:meth:`Concept.first_match`, every matcher built over
+        the same knowledge base) share the cached ``re.Pattern``.
+        """
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            if self.is_regex:
+                cached = re.compile(self.pattern, re.IGNORECASE)
+            else:
+                escaped = re.escape(self.pattern)
+                # Word-boundary semantics that tolerate the pattern itself
+                # starting/ending with punctuation (e.g. "C++").
+                prefix = r"(?<![A-Za-z0-9])" if self.pattern[:1].isalnum() else ""
+                suffix = r"(?![A-Za-z0-9])" if self.pattern[-1:].isalnum() else ""
+                cached = re.compile(prefix + escaped + suffix, re.IGNORECASE)
+            # Frozen dataclass: memoize past the __setattr__ guard.  The
+            # cache is not a field, so equality/hash stay pattern-based.
+            object.__setattr__(self, "_compiled", cached)
+        return cached
 
 
 @dataclass

@@ -28,6 +28,15 @@ class ConversionConfig:
     """
 
     delimiters: tuple[str, ...] = DEFAULT_DELIMITERS
+    # Route instance identification through the Aho-Corasick fast path
+    # (repro.concepts.fastmatch): one automaton pass per token plus
+    # memoized token decisions, differentially guaranteed to emit the
+    # same matches as the naive per-pattern matcher.
+    fast_tagger: bool = True
+    # Entries in each token-decision LRU (synonym match lists and Bayes
+    # predictions are cached separately); 0 disables memoization while
+    # keeping the automaton.
+    tagger_cache_size: int = 4096
     group_tag_weights: dict[str, int] = field(
         default_factory=lambda: dict(DEFAULT_GROUP_TAG_WEIGHTS)
     )
@@ -58,6 +67,8 @@ class ConversionConfig:
             raise ValueError(f"unknown tagger: {self.tagger!r}")
         if not self.delimiters:
             raise ValueError("at least one delimiter is required")
+        if self.tagger_cache_size < 0:
+            raise ValueError("tagger_cache_size must be >= 0")
         for delimiter in self.delimiters:
             if len(delimiter) != 1:
                 raise ValueError(f"delimiters must be single characters: {delimiter!r}")

@@ -21,8 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.concepts.bayes import MultinomialNaiveBayes
+from repro.concepts.fastmatch import CachedBayes, FastSynonymMatcher
 from repro.concepts.knowledge import KnowledgeBase
 from repro.concepts.matcher import InstanceMatch, SynonymMatcher
+
+# Either matcher implementation satisfies the rule's contract; the fast
+# variant is differentially guaranteed to produce the same match lists.
+Matcher = SynonymMatcher | FastSynonymMatcher
+Classifier = MultinomialNaiveBayes | CachedBayes
 from repro.convert.config import ConversionConfig
 from repro.convert.tokenize_rule import TOKEN_TAG, token_text
 from repro.dom.node import Element
@@ -67,15 +73,17 @@ def apply_instance_rule(
     kb: KnowledgeBase,
     config: ConversionConfig | None = None,
     *,
-    matcher: SynonymMatcher | None = None,
-    bayes: MultinomialNaiveBayes | None = None,
+    matcher: Matcher | None = None,
+    bayes: Classifier | None = None,
     doc_id: str | None = None,
     provenance: ProvenanceLog | None = None,
 ) -> InstanceRuleStats:
     """Resolve every ``<TOKEN>`` under ``root`` into concept elements.
 
-    ``matcher`` defaults to a fresh :class:`SynonymMatcher` over ``kb``.
-    With ``config.tagger`` in ``("bayes", "hybrid")`` a trained ``bayes``
+    ``matcher`` defaults to a fresh matcher over ``kb`` -- the
+    :class:`FastSynonymMatcher` automaton when ``config.fast_tagger`` is
+    on, the naive :class:`SynonymMatcher` otherwise.  With
+    ``config.tagger`` in ``("bayes", "hybrid")`` a trained ``bayes``
     classifier must be supplied.  With a ``provenance`` log every token
     decision is recorded as a ``concept`` event keyed by ``doc_id`` and
     the token's label path *before* the rewrite.
@@ -84,7 +92,10 @@ def apply_instance_rule(
     if config.tagger in ("bayes", "hybrid") and (bayes is None or not bayes.is_trained()):
         raise ValueError(f"tagger {config.tagger!r} requires a trained Bayes classifier")
     if matcher is None:
-        matcher = SynonymMatcher(kb)
+        if config.fast_tagger:
+            matcher = FastSynonymMatcher(kb, cache_size=config.tagger_cache_size)
+        else:
+            matcher = SynonymMatcher(kb)
     stats = InstanceRuleStats()
     for node in list(iter_preorder(root)):
         if isinstance(node, Element) and node.tag == TOKEN_TAG and node.parent is not None:
@@ -101,8 +112,8 @@ def _resolve_token(
     token: Element,
     kb: KnowledgeBase,
     config: ConversionConfig,
-    matcher: SynonymMatcher,
-    bayes: MultinomialNaiveBayes | None,
+    matcher: Matcher,
+    bayes: Classifier | None,
     stats: InstanceRuleStats,
     doc_id: str | None = None,
     provenance: ProvenanceLog | None = None,

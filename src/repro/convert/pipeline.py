@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.concepts.bayes import MultinomialNaiveBayes
+from repro.concepts.fastmatch import CachedBayes, FastSynonymMatcher
 from repro.concepts.knowledge import KnowledgeBase
 from repro.concepts.matcher import SynonymMatcher
 from repro.convert.config import ConversionConfig
@@ -71,8 +72,44 @@ class DocumentConverter:
     bayes: MultinomialNaiveBayes | None = None
 
     def __post_init__(self) -> None:
-        self._matcher = SynonymMatcher(self.kb)
+        # The fast tagger is built once per converter -- i.e. once per
+        # engine worker process -- so the automaton construction and the
+        # token-decision caches amortize over every document converted.
+        self._matcher: SynonymMatcher | FastSynonymMatcher
+        self._tagger_bayes: MultinomialNaiveBayes | CachedBayes | None
+        if self.config.fast_tagger:
+            self._matcher = FastSynonymMatcher(
+                self.kb, cache_size=self.config.tagger_cache_size
+            )
+            self._tagger_bayes = (
+                CachedBayes(self.bayes, cache_size=self.config.tagger_cache_size)
+                if self.bayes is not None
+                else None
+            )
+        else:
+            self._matcher = SynonymMatcher(self.kb)
+            self._tagger_bayes = self.bayes
         self._root_tag = self._pick_root_tag()
+
+    def tagger_cache_counters(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/eviction counters per token-decision cache.
+
+        Empty when the fast tagger (or its memoization) is off.  The
+        engine snapshots this around each chunk and ships the delta home
+        in :class:`~repro.runtime.stats.ChunkStats`.
+        """
+        counters: dict[str, dict[str, int]] = {}
+        if (
+            isinstance(self._matcher, FastSynonymMatcher)
+            and self._matcher.cache is not None
+        ):
+            counters["synonym"] = self._matcher.cache.counters()
+        if (
+            isinstance(self._tagger_bayes, CachedBayes)
+            and self._tagger_bayes.cache is not None
+        ):
+            counters["bayes"] = self._tagger_bayes.cache.counters()
+        return counters
 
     def _pick_root_tag(self) -> str:
         """The element name for document roots: the topic's own concept
@@ -138,7 +175,7 @@ class DocumentConverter:
                     self.kb,
                     self.config,
                     matcher=self._matcher,
-                    bayes=self.bayes,
+                    bayes=self._tagger_bayes,
                     doc_id=doc_id,
                     provenance=provenance,
                 )

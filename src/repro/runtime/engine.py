@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.concepts.bayes import MultinomialNaiveBayes
+from repro.concepts.fastmatch import cache_counter_delta
 from repro.concepts.knowledge import KnowledgeBase
 from repro.convert.config import ConversionConfig
 from repro.convert.pipeline import DocumentConverter
@@ -162,6 +163,9 @@ def _run_chunk(
     stats = ChunkStats(index=index, documents=len(sources))
     xml: list[str] = []
     accumulator = PathAccumulator()
+    # Token-decision caches persist across chunks inside one converter;
+    # snapshotting around the chunk yields this chunk's traffic alone.
+    cache_before = converter.tagger_cache_counters()
     with tracer.span("engine.chunk", chunk=index, documents=len(sources)):
         for offset, source in enumerate(sources):
             doc_id = f"doc{base + offset:04d}"
@@ -178,6 +182,9 @@ def _run_chunk(
             stats.concept_nodes += result.concept_node_count
             for rule, seconds in result.rule_seconds.items():
                 stats.rule_seconds[rule] = stats.rule_seconds.get(rule, 0.0) + seconds
+    stats.tagger_cache = cache_counter_delta(
+        cache_before, converter.tagger_cache_counters()
+    )
     stats.seconds = time.perf_counter() - started
     return ChunkPayload(xml=xml, accumulator=accumulator, stats=stats)
 

@@ -37,6 +37,9 @@ WORKERS = "repro_engine_workers"
 CHUNK_SIZE = "repro_engine_chunk_size"
 RULE_SECONDS = "repro_rule_seconds_total"
 CHUNK_SECONDS_HISTOGRAM = "repro_engine_chunk_seconds"
+# Token-decision cache traffic from the fast tagger, labeled
+# {cache="synonym"|"bayes", event="hits"|"misses"|"evictions"}.
+TAGGER_CACHE_EVENTS = "repro_tagger_cache_events_total"
 
 # Below this wall-clock resolution, documents/wall_seconds stops being a
 # throughput and starts being timer noise (sub-millisecond runs round to
@@ -62,6 +65,10 @@ class ChunkStats:
     input_nodes: int = 0
     concept_nodes: int = 0
     rule_seconds: dict[str, float] = field(default_factory=dict)
+    # Token-decision cache counter growth during this chunk, per cache
+    # ({"synonym": {"hits": ..., "misses": ..., "evictions": ...}});
+    # empty when the fast tagger or its memoization is off.
+    tagger_cache: dict[str, dict[str, int]] = field(default_factory=dict)
 
 
 def rule_rows_from_registry(registry: MetricsRegistry) -> list[list[str]]:
@@ -183,6 +190,26 @@ class EngineStats:
         }
 
     @property
+    def tagger_cache_events(self) -> dict[str, dict[str, int]]:
+        """Per-cache hit/miss/eviction totals, from the registry."""
+        events: dict[str, dict[str, int]] = {}
+        for metric in self.registry.find(TAGGER_CACHE_EVENTS):
+            labels = metric.label_dict()
+            cache_events = events.setdefault(labels.get("cache", "?"), {})
+            cache_events[labels.get("event", "?")] = int(metric.value)  # type: ignore[union-attr]
+        return events
+
+    @property
+    def tagger_cache_hit_rate(self) -> float:
+        """Hits over lookups across all token-decision caches."""
+        hits = 0
+        lookups = 0
+        for counters in self.tagger_cache_events.values():
+            hits += counters.get("hits", 0)
+            lookups += counters.get("hits", 0) + counters.get("misses", 0)
+        return hits / lookups if lookups else 0.0
+
+    @property
     def docs_per_second(self) -> float:
         """End-to-end corpus throughput.
 
@@ -209,6 +236,11 @@ class EngineStats:
         registry.counter(CONCEPT_NODES).inc(chunk.concept_nodes)
         for rule, seconds in chunk.rule_seconds.items():
             registry.counter(RULE_SECONDS, rule=rule).inc(seconds)
+        for cache_name, counters in chunk.tagger_cache.items():
+            for event, value in counters.items():
+                registry.counter(
+                    TAGGER_CACHE_EVENTS, cache=cache_name, event=event
+                ).inc(value)
         registry.histogram(CHUNK_SECONDS_HISTOGRAM).observe(chunk.seconds)
         self.per_chunk.append(chunk)
 
@@ -225,7 +257,7 @@ class EngineStats:
 
     def summary_rows(self) -> list[list[str]]:
         """(name, value) rows for the CLI report table."""
-        return [
+        rows = [
             ["documents", str(self.documents)],
             ["chunks", f"{self.chunks} x {self.chunk_size}"],
             ["workers", str(self.workers)],
@@ -239,6 +271,17 @@ class EngineStats:
             ["nodes eliminated", str(self.nodes_eliminated)],
             ["concept nodes", str(self.concept_nodes)],
         ]
+        events = self.tagger_cache_events
+        if events:
+            hits = sum(c.get("hits", 0) for c in events.values())
+            lookups = hits + sum(c.get("misses", 0) for c in events.values())
+            rows.append(
+                [
+                    "tagger cache",
+                    f"{hits}/{lookups} hits ({self.tagger_cache_hit_rate:.0%})",
+                ]
+            )
+        return rows
 
     def rule_rows(self) -> list[list[str]]:
         """(rule, seconds, share) rows, slowest stage first."""

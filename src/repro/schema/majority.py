@@ -64,7 +64,11 @@ class MajoritySchema:
             raise ValueError(f"frequent paths have multiple roots: {root_labels}")
         root_label = next(iter(root_labels))
         root = SchemaNode(root_label, (root_label,), frequent.support((root_label,)))
-        for path in sorted(frequent.paths, key=len):
+        # Total order, not just key=len: ``paths`` is a set, and a
+        # length-only key would leave equal-length paths in hash order,
+        # making schema child order (and DTD declaration order) vary
+        # from process to process.
+        for path in sorted(frequent.paths, key=lambda p: (len(p), p)):
             node = root
             for label in path[1:]:
                 node = node.ensure_child(label, frequent.support(node.path + (label,)))

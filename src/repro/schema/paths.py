@@ -19,6 +19,7 @@ child nodes does not cause any computational overhead"):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from sys import intern
 from typing import Iterable, Iterator
 
 from repro.dom.node import Element
@@ -51,14 +52,24 @@ def extract_paths(root: Element) -> DocumentPaths:
 
     Runs in one preorder traversal; every node contributes the label path
     from the root to itself, so the resulting set is prefix-closed.
+
+    Labels are interned so every ``LabelPath`` tuple in a process shares
+    one string object per distinct label: tag strings are minted per
+    :class:`Element`, and without interning a corpus carries millions of
+    equal-but-distinct ``"RESUME"``/``"GROUP"`` copies.  Sharing shrinks
+    pickled :class:`~repro.runtime.engine.ChunkPayload` accumulators
+    (pickle memoizes by object identity) and speeds accumulator merges
+    (tuple equality short-circuits on identical elements).
     """
     doc = DocumentPaths()
-    root_path: LabelPath = (root.tag,)
+    root_path: LabelPath = (intern(root.tag),)
     doc.paths.add(root_path)
     doc.multiplicity[root_path] = 1
     doc.avg_position[root_path] = 0.0
 
-    # positions accumulates (sum_of_positions, count) for averaging.
+    # Running (sum_of_positions, count) per path for averaging --
+    # constant space per distinct path instead of a list of floats per
+    # realized position.
     position_acc: dict[LabelPath, list[float]] = {}
 
     stack: list[tuple[Element, LabelPath]] = [(root, root_path)]
@@ -70,15 +81,20 @@ def extract_paths(root: Element) -> DocumentPaths:
         for child in children:
             label_counts[child.tag] = label_counts.get(child.tag, 0) + 1
         for position, child in enumerate(children):
-            child_path = path + (child.tag,)
+            child_path = path + (intern(child.tag),)
             doc.paths.add(child_path)
             seen = doc.multiplicity.get(child_path, 0)
             doc.multiplicity[child_path] = max(seen, label_counts[child.tag])
-            position_acc.setdefault(child_path, []).append(float(position))
+            acc = position_acc.get(child_path)
+            if acc is None:
+                position_acc[child_path] = [float(position), 1.0]
+            else:
+                acc[0] += float(position)
+                acc[1] += 1.0
             stack.append((child, child_path))
 
-    for child_path, positions in position_acc.items():
-        doc.avg_position[child_path] = sum(positions) / len(positions)
+    for child_path, (position_sum, count) in position_acc.items():
+        doc.avg_position[child_path] = position_sum / count
     return doc
 
 

@@ -47,6 +47,18 @@ class TestConstruction:
         with pytest.raises(ValueError):
             MajoritySchema.from_frequent_paths(frequent)
 
+    def test_child_insertion_order_is_sorted(self):
+        # frequent.paths is a set; construction must not leak its hash
+        # order into the children dicts (BFS over them decides DTD
+        # declaration order, which has to be stable across processes).
+        docs = docs_from(
+            ("r", [("c", []), ("a", []), ("b", [])]),
+            ("r", [("c", []), ("a", []), ("b", [])]),
+        )
+        frequent = mine_frequent_paths(docs, sup_threshold=0.6)
+        schema = MajoritySchema.from_frequent_paths(frequent)
+        assert list(schema.root.children) == sorted(schema.root.children)
+
     def test_multiple_roots_rejected(self):
         docs = docs_from(("r", []), ("q", []))
         frequent = mine_frequent_paths(docs, sup_threshold=0.3)
