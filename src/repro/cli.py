@@ -59,7 +59,11 @@ def _cmd_gen_corpus(args: argparse.Namespace) -> int:
 def _conversion_config(args: argparse.Namespace) -> "ConversionConfig":
     from repro.convert.config import ConversionConfig
 
-    return ConversionConfig(fast_tagger=not args.no_fast_tagger)
+    return ConversionConfig(
+        fast_tagger=not args.no_fast_tagger,
+        chaos_fail_marker=getattr(args, "chaos_fail_marker", "") or None,
+        chaos_kill_marker=getattr(args, "chaos_kill_marker", "") or None,
+    )
 
 
 def _cmd_html2xml(args: argparse.Namespace) -> int:
@@ -109,7 +113,10 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
         build_resume_knowledge_base(),
         _conversion_config(args),
         engine_config=EngineConfig(
-            max_workers=args.max_workers or None, chunk_size=args.chunk_size
+            max_workers=args.max_workers or None,
+            chunk_size=args.chunk_size,
+            error_policy=args.on_error,
+            quarantine_dir=args.quarantine_dir,
         ),
     )
     tracing = bool(args.trace_out)
@@ -127,13 +134,34 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
     if args.out:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
-        for position, xml in enumerate(result.xml_documents):
+        # Failed documents leave no XML: name surviving outputs by their
+        # *original* corpus position so doc<N>.xml still matches input N.
+        failed_positions = {failure.index for failure in result.failures}
+        survivor_positions = [
+            position
+            for position in range(
+                len(result.xml_documents) + len(failed_positions)
+            )
+            if position not in failed_positions
+        ]
+        for position, xml in zip(survivor_positions, result.xml_documents):
             if args.files and position < len(args.files):
                 stem = Path(args.files[position]).stem
             else:
                 stem = f"doc{position:04d}"
             (out / f"{stem}.xml").write_text(xml)
         print(f"wrote {len(result.xml_documents)} XML documents to {out}/")
+    if result.failures:
+        rows = [
+            [failure.doc_id, failure.stage, failure.error_type,
+             failure.message[:60]]
+            for failure in result.failures
+        ]
+        print(format_table(["document", "stage", "error", "message"], rows,
+                           title=f"Failed documents ({len(rows)})"))
+        if args.on_error == "quarantine":
+            print(f"quarantined sources + error JSONs in {args.quarantine_dir}/")
+        print()
     stats = result.stats
     print(format_table(["engine", "value"], stats.summary_rows(),
                        title="Corpus engine run"))
@@ -425,6 +453,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the Aho-Corasick tagging fast path (differential "
         "baseline; output is guaranteed identical either way)",
+    )
+    engine.add_argument(
+        "--on-error",
+        choices=["fail-fast", "skip", "quarantine"],
+        default="fail-fast",
+        help="what to do with documents that fail to convert: abort the "
+        "run (default), skip them (failures are counted and reported), "
+        "or skip + save source and error JSON to --quarantine-dir; "
+        "skip/quarantine also recover crashed worker processes by "
+        "rebuilding the pool and bisecting the failed chunk",
+    )
+    engine.add_argument(
+        "--quarantine-dir",
+        default="quarantine",
+        metavar="DIR",
+        help="directory for quarantined documents (--on-error=quarantine)",
+    )
+    engine.add_argument(
+        "--chaos-fail-marker",
+        default="",
+        metavar="TEXT",
+        help="fault injection: documents containing TEXT raise inside "
+        "the pipeline (chaos testing; see the chaos-smoke CI job)",
+    )
+    engine.add_argument(
+        "--chaos-kill-marker",
+        default="",
+        metavar="TEXT",
+        help="fault injection: a worker that receives a document "
+        "containing TEXT hard-exits, simulating an OOM/segfault kill",
     )
     engine.set_defaults(func=_cmd_convert_corpus)
 

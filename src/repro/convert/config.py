@@ -61,6 +61,14 @@ class ConversionConfig:
     merge_connectors: frozenset[str] = frozenset(
         {"of", "at", "the", "in", "for", "and", "&", "de", "la", "del", "von"}
     )
+    # Chaos-testing hooks (fault-injection suite + chaos-smoke CI job).
+    # When a source document contains ``chaos_fail_marker`` the pipeline
+    # raises InjectedFaultError (stage "inject"); when it contains
+    # ``chaos_kill_marker`` an engine *worker process* hard-exits before
+    # converting it (os._exit -- exercises BrokenProcessPool recovery;
+    # ignored on the inline/serial paths, which have no worker to kill).
+    chaos_fail_marker: str | None = None
+    chaos_kill_marker: str | None = None
 
     def __post_init__(self) -> None:
         if self.tagger not in ("synonym", "bayes", "hybrid"):

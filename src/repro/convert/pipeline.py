@@ -17,6 +17,13 @@ from repro.concepts.knowledge import KnowledgeBase
 from repro.concepts.matcher import SynonymMatcher
 from repro.convert.config import ConversionConfig
 from repro.convert.consolidation_rule import apply_consolidation_rule
+from repro.convert.errors import (
+    ErrorPolicy,
+    InjectedFaultError,
+    PipelineStageError,
+    failure_from_exception,
+    write_quarantine,
+)
 from repro.convert.grouping_rule import apply_grouping_rule
 from repro.convert.instance_rule import InstanceRuleStats, apply_instance_rule
 from repro.convert.tokenize_rule import apply_tokenization_rule
@@ -147,59 +154,80 @@ class DocumentConverter:
         """
         tracer = resolve_tracer(tracer)
         timings: dict[str, float] = {}
-        with tracer.span("convert.document", doc=doc_id) as doc_span:
-            started = time.perf_counter()
-            with tracer.span("convert.parse"):
-                if isinstance(html, str):
-                    document = parse_html(html)
-                else:
-                    document = clone(html) if copy else html
-            timings["parse"] = time.perf_counter() - started
-            input_nodes = tree_size(document)
-            if self.config.apply_tidy:
+        # Any stage failure is re-raised as PipelineStageError naming the
+        # stage underway -- what a non-fail-fast corpus run records as
+        # the failure's pipeline stage.
+        stage = "inject"
+        try:
+            marker = self.config.chaos_fail_marker
+            if marker and isinstance(html, str) and marker in html:
+                raise InjectedFaultError(
+                    f"chaos fault marker {marker!r} present in source"
+                )
+            with tracer.span("convert.document", doc=doc_id) as doc_span:
+                stage = "parse"
                 started = time.perf_counter()
-                with tracer.span("convert.tidy"):
-                    tidy(document)
-                timings["tidy"] = time.perf_counter() - started
-            work_root = self._content_root(document)
+                with tracer.span("convert.parse"):
+                    if isinstance(html, str):
+                        document = parse_html(html)
+                    else:
+                        document = clone(html) if copy else html
+                timings["parse"] = time.perf_counter() - started
+                input_nodes = tree_size(document)
+                if self.config.apply_tidy:
+                    stage = "tidy"
+                    started = time.perf_counter()
+                    with tracer.span("convert.tidy"):
+                        tidy(document)
+                    timings["tidy"] = time.perf_counter() - started
+                work_root = self._content_root(document)
 
-            started = time.perf_counter()
-            with tracer.span("convert.tokenize") as span:
-                tokens = apply_tokenization_rule(work_root, self.config)
-                span.set(tokens=tokens)
-            timings["tokenize"] = time.perf_counter() - started
-            started = time.perf_counter()
-            with tracer.span("convert.instance") as span:
-                stats = apply_instance_rule(
-                    work_root,
-                    self.kb,
-                    self.config,
-                    matcher=self._matcher,
-                    bayes=self._tagger_bayes,
-                    doc_id=doc_id,
-                    provenance=provenance,
-                )
-                span.set(
-                    identified=stats.identified,
-                    unidentified=stats.unidentified,
-                )
-            timings["instance"] = time.perf_counter() - started
-            started = time.perf_counter()
-            with tracer.span("convert.group") as span:
-                groups = apply_grouping_rule(work_root, self.config)
-                span.set(groups=groups)
-            timings["group"] = time.perf_counter() - started
-            started = time.perf_counter()
-            with tracer.span("convert.consolidate") as span:
-                eliminated = apply_consolidation_rule(
-                    work_root, self.kb, self.config
-                )
-                span.set(eliminated=eliminated)
-            timings["consolidate"] = time.perf_counter() - started
-            started = time.perf_counter()
-            root = self._rootify(work_root)
-            timings["root"] = time.perf_counter() - started
-            doc_span.set(input_nodes=input_nodes)
+                stage = "tokenize"
+                started = time.perf_counter()
+                with tracer.span("convert.tokenize") as span:
+                    tokens = apply_tokenization_rule(work_root, self.config)
+                    span.set(tokens=tokens)
+                timings["tokenize"] = time.perf_counter() - started
+                stage = "instance"
+                started = time.perf_counter()
+                with tracer.span("convert.instance") as span:
+                    stats = apply_instance_rule(
+                        work_root,
+                        self.kb,
+                        self.config,
+                        matcher=self._matcher,
+                        bayes=self._tagger_bayes,
+                        doc_id=doc_id,
+                        provenance=provenance,
+                    )
+                    span.set(
+                        identified=stats.identified,
+                        unidentified=stats.unidentified,
+                    )
+                timings["instance"] = time.perf_counter() - started
+                stage = "group"
+                started = time.perf_counter()
+                with tracer.span("convert.group") as span:
+                    groups = apply_grouping_rule(work_root, self.config)
+                    span.set(groups=groups)
+                timings["group"] = time.perf_counter() - started
+                stage = "consolidate"
+                started = time.perf_counter()
+                with tracer.span("convert.consolidate") as span:
+                    eliminated = apply_consolidation_rule(
+                        work_root, self.kb, self.config
+                    )
+                    span.set(eliminated=eliminated)
+                timings["consolidate"] = time.perf_counter() - started
+                stage = "root"
+                started = time.perf_counter()
+                root = self._rootify(work_root)
+                timings["root"] = time.perf_counter() - started
+                doc_span.set(input_nodes=input_nodes)
+        except PipelineStageError:
+            raise
+        except Exception as exc:
+            raise PipelineStageError(stage, doc_id) from exc
 
         if provenance is not None:
             provenance.rule_event(
@@ -233,14 +261,49 @@ class DocumentConverter:
             rule_seconds=timings,
         )
 
-    def convert_many(self, documents: list[str]) -> list[ConversionResult]:
+    def convert_many(
+        self,
+        documents: list[str],
+        *,
+        error_policy: "ErrorPolicy | str | None" = None,
+        failures: "list | None" = None,
+    ) -> list[ConversionResult]:
         """Convert a corpus of HTML source strings, serially.
 
         This is the reference implementation the parallel
         :class:`repro.runtime.CorpusEngine` is differentially tested
         against; for large corpora prefer the engine.
+
+        ``error_policy`` (an :class:`~repro.convert.errors.ErrorPolicy`
+        or a mode string) governs documents that fail to convert: the
+        default fail-fast re-raises (the historical behavior); ``skip``
+        and ``quarantine`` drop the document from the results, append a
+        :class:`~repro.convert.errors.DocumentFailure` to ``failures``
+        (when a list is supplied), and -- under quarantine -- save the
+        offending source plus an error JSON to the policy's directory.
+        Surviving documents convert exactly as they would alone, so the
+        result equals ``convert_many`` of the corpus minus the poison
+        documents.
         """
-        return [self.convert(source) for source in documents]
+        policy = ErrorPolicy.coerce(error_policy)
+        results: list[ConversionResult] = []
+        for position, source in enumerate(documents):
+            try:
+                results.append(self.convert(source))
+            except Exception as exc:
+                if policy.is_fail_fast:
+                    raise
+                failure = failure_from_exception(
+                    f"doc{position:04d}",
+                    position,
+                    exc,
+                    source=source if policy.captures_source else None,
+                )
+                if policy.mode == "quarantine":
+                    write_quarantine(policy.quarantine_dir, failure)
+                if failures is not None:
+                    failures.append(failure)
+        return results
 
     # -- internals -----------------------------------------------------------
 

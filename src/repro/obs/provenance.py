@@ -81,6 +81,37 @@ class ProvenanceLog:
             }
         )
 
+    def error_event(
+        self,
+        doc_id: str | None,
+        stage: str,
+        error_type: str,
+        message: str,
+        *,
+        index: int | None = None,
+        **extra: object,
+    ) -> None:
+        """Record one document the error policy dropped.
+
+        ``stage`` is the pipeline stage that failed (``"worker"`` when
+        the document killed its worker process); ``index`` is the
+        document's corpus-wide position.  Error events interleave with
+        rule/concept events in document order, so the provenance log
+        answers "what happened to doc N" uniformly for survivors and
+        casualties.
+        """
+        event: dict = {
+            "kind": "error",
+            "doc": doc_id,
+            "stage": stage,
+            "error": error_type,
+            "message": message[:_TEXT_SNIPPET * 4],
+        }
+        if index is not None:
+            event["index"] = index
+        event.update(extra)
+        self.events.append(event)
+
     def extend(self, events: Iterable[dict]) -> None:
         """Append events shipped from another process."""
         self.events.extend(events)

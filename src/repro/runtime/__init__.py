@@ -4,12 +4,19 @@
   process-pool conversion with a deterministic in-order merge, plus
   schema discovery over merged path statistics.
 * :mod:`repro.runtime.stats` -- :class:`EngineStats` / per-chunk
-  instrumentation (rule timings, docs/sec, queue depth).
+  instrumentation (rule timings, docs/sec, queue depth, failure
+  counts).
+* :mod:`repro.runtime.faults` -- the fault-tolerance layer:
+  :class:`ErrorPolicy` (fail-fast / skip / quarantine),
+  :class:`DocumentFailure` records, and worker-crash recovery
+  (pool rebuild + chunk bisection) support.
 
 The engine is differentially tested against the serial
 :meth:`repro.convert.pipeline.DocumentConverter.convert_many` path:
 identical XML bytes per document and an identical discovered DTD for
-any worker count.
+any worker count -- including corpora with poison documents under a
+skip policy, where the engine must equal the serial conversion of the
+surviving documents.
 """
 
 from repro.runtime.engine import (
@@ -19,6 +26,15 @@ from repro.runtime.engine import (
     DiscoveryResult,
     EngineConfig,
     EngineRun,
+)
+from repro.runtime.faults import (
+    DocumentFailure,
+    ErrorPolicy,
+    PipelineStageError,
+    PoolRebuildExhausted,
+    RecoveryBudget,
+    worker_crash_failure,
+    write_quarantine,
 )
 from repro.runtime.stats import ChunkStats, EngineStats, rule_rows_from_registry
 from repro.schema.accumulator import PathAccumulator
@@ -34,4 +50,11 @@ __all__ = [
     "DiscoveryResult",
     "EngineRun",
     "PathAccumulator",
+    "DocumentFailure",
+    "ErrorPolicy",
+    "PipelineStageError",
+    "PoolRebuildExhausted",
+    "RecoveryBudget",
+    "worker_crash_failure",
+    "write_quarantine",
 ]

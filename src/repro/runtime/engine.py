@@ -35,6 +35,7 @@ import os
 import time
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -45,6 +46,15 @@ from repro.convert.config import ConversionConfig
 from repro.convert.pipeline import DocumentConverter
 from repro.obs.provenance import ProvenanceLog
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, resolve_tracer
+from repro.runtime.faults import (
+    DocumentFailure,
+    ErrorPolicy,
+    RecoveryBudget,
+    failure_from_exception,
+    split_segment,
+    worker_crash_failure,
+    write_quarantine,
+)
 from repro.runtime.stats import ChunkStats, EngineStats
 from repro.schema.accumulator import PathAccumulator
 from repro.schema.dtd import DTD, derive_dtd
@@ -66,6 +76,15 @@ class EngineConfig:
     max_workers: int | None = None
     chunk_size: int = 16
     max_pending: int | None = None
+    # What to do with documents that fail to convert: "fail_fast" (the
+    # historical raise-and-abort default), "skip", "quarantine" (an
+    # ErrorPolicy instance carrying the directory), or a mode string.
+    error_policy: ErrorPolicy | str = "fail_fast"
+    quarantine_dir: str | None = None
+    # Bounded-retry budget for BrokenProcessPool recovery: each worker
+    # crash costs one pool rebuild (bisecting a chunk with one killer
+    # document costs O(log chunk_size) rebuilds).
+    max_pool_rebuilds: int = 16
 
     def resolved_workers(self) -> int:
         if self.max_workers is None:
@@ -77,6 +96,11 @@ class EngineConfig:
             return max(2, 2 * workers)
         return max(1, self.max_pending)
 
+    def resolved_policy(self) -> ErrorPolicy:
+        return ErrorPolicy.coerce(
+            self.error_policy, quarantine_dir=self.quarantine_dir
+        )
+
 
 @dataclass
 class ChunkPayload:
@@ -85,6 +109,8 @@ class ChunkPayload:
     ``spans``/``events`` carry the worker's serialized observability
     output (``None`` when tracing/provenance is off, or when the chunk
     ran inline and recorded straight into the caller's tracer).
+    ``failures`` are the documents a skip/quarantine policy dropped, in
+    document order; ``xml`` holds the survivors only.
     """
 
     xml: list[str]
@@ -92,15 +118,22 @@ class ChunkPayload:
     stats: ChunkStats
     spans: list[dict] | None = None
     events: list[dict] | None = None
+    failures: list[DocumentFailure] = field(default_factory=list)
 
 
 @dataclass
 class CorpusResult:
-    """Outcome of converting a corpus through the engine."""
+    """Outcome of converting a corpus through the engine.
+
+    ``xml_documents`` holds the surviving documents in corpus order;
+    ``failures`` the documents the error policy dropped (empty under
+    fail-fast, which raises instead).
+    """
 
     xml_documents: list[str]
     accumulator: PathAccumulator
     stats: EngineStats
+    failures: list[DocumentFailure] = field(default_factory=list)
 
 
 @dataclass
@@ -130,6 +163,7 @@ class EngineRun:
 _WORKER_CONVERTER: DocumentConverter | None = None
 _WORKER_TRACE: bool = False
 _WORKER_PROVENANCE: bool = False
+_WORKER_POLICY: ErrorPolicy = ErrorPolicy.fail_fast()
 
 
 def _init_worker(
@@ -138,11 +172,13 @@ def _init_worker(
     bayes: MultinomialNaiveBayes | None,
     trace: bool = False,
     provenance: bool = False,
+    policy: ErrorPolicy | None = None,
 ) -> None:
-    global _WORKER_CONVERTER, _WORKER_TRACE, _WORKER_PROVENANCE
+    global _WORKER_CONVERTER, _WORKER_TRACE, _WORKER_PROVENANCE, _WORKER_POLICY
     _WORKER_CONVERTER = DocumentConverter(kb, config, bayes)
     _WORKER_TRACE = trace
     _WORKER_PROVENANCE = provenance
+    _WORKER_POLICY = policy if policy is not None else ErrorPolicy.fail_fast()
 
 
 def _run_chunk(
@@ -152,16 +188,24 @@ def _run_chunk(
     sources: list[str],
     tracer: Tracer | NullTracer = NULL_TRACER,
     provenance: ProvenanceLog | None = None,
+    policy: ErrorPolicy = ErrorPolicy.fail_fast(),
 ) -> ChunkPayload:
     """Convert one chunk: the shared worker/inline code path.
 
     ``base`` is the corpus-wide index of the chunk's first document, so
     provenance events and spans key documents by their global position
     regardless of which worker converted them.
+
+    Per-document isolation: under a non-fail-fast ``policy`` a document
+    whose conversion raises becomes a :class:`DocumentFailure` in the
+    payload (with the source attached when the policy quarantines) and
+    its siblings convert exactly as they would alone.  Fail-fast lets
+    the exception propagate -- the historical behavior.
     """
     started = time.perf_counter()
-    stats = ChunkStats(index=index, documents=len(sources))
+    stats = ChunkStats(index=index, documents=0)
     xml: list[str] = []
+    failures: list[DocumentFailure] = []
     accumulator = PathAccumulator()
     # Token-decision caches persist across chunks inside one converter;
     # snapshotting around the chunk yields this chunk's traffic alone.
@@ -169,12 +213,38 @@ def _run_chunk(
     with tracer.span("engine.chunk", chunk=index, documents=len(sources)):
         for offset, source in enumerate(sources):
             doc_id = f"doc{base + offset:04d}"
-            result = converter.convert(
-                source, doc_id=doc_id, tracer=tracer, provenance=provenance
-            )
-            xml.append(result.to_xml())
+            try:
+                result = converter.convert(
+                    source, doc_id=doc_id, tracer=tracer, provenance=provenance
+                )
+                doc_xml = result.to_xml()
+            except Exception as exc:
+                if policy.is_fail_fast:
+                    raise
+                failure = failure_from_exception(
+                    doc_id,
+                    base + offset,
+                    exc,
+                    source=source if policy.captures_source else None,
+                )
+                failures.append(failure)
+                stats.documents_failed += 1
+                stats.failures_by_stage[failure.stage] = (
+                    stats.failures_by_stage.get(failure.stage, 0) + 1
+                )
+                if provenance is not None:
+                    provenance.error_event(
+                        doc_id,
+                        failure.stage,
+                        failure.error_type,
+                        failure.message,
+                        index=failure.index,
+                    )
+                continue
+            xml.append(doc_xml)
             with tracer.span("discover.extract_paths", doc=doc_id):
                 accumulator.add_tree(result.root)
+            stats.documents += 1
             stats.tokens_created += result.tokens_created
             stats.groups_created += result.groups_created
             stats.nodes_eliminated += result.nodes_eliminated
@@ -186,21 +256,42 @@ def _run_chunk(
         cache_before, converter.tagger_cache_counters()
     )
     stats.seconds = time.perf_counter() - started
-    return ChunkPayload(xml=xml, accumulator=accumulator, stats=stats)
+    return ChunkPayload(
+        xml=xml, accumulator=accumulator, stats=stats, failures=failures
+    )
 
 
 def _convert_chunk(payload: tuple[int, int, list[str]]) -> ChunkPayload:
     """Pool task: convert a chunk with the per-process converter."""
     index, base, sources = payload
     assert _WORKER_CONVERTER is not None, "worker initializer did not run"
+    kill_marker = _WORKER_CONVERTER.config.chaos_kill_marker
+    if kill_marker and any(kill_marker in source for source in sources):
+        # Chaos hook: die the way an OOM-killed or segfaulted worker
+        # does -- no exception, no cleanup, just a vanished process.
+        os._exit(1)
     tracer: Tracer | NullTracer = Tracer(id_prefix="w") if _WORKER_TRACE else NULL_TRACER
     provenance = ProvenanceLog() if _WORKER_PROVENANCE else None
-    chunk = _run_chunk(_WORKER_CONVERTER, index, base, sources, tracer, provenance)
+    chunk = _run_chunk(
+        _WORKER_CONVERTER, index, base, sources, tracer, provenance, _WORKER_POLICY
+    )
     if _WORKER_TRACE:
         chunk.spans = tracer.export()
     if provenance is not None:
         chunk.events = provenance.events
     return chunk
+
+
+@dataclass
+class _ChunkTask:
+    """A submitted chunk, kept resubmittable for crash recovery."""
+
+    index: int
+    base: int
+    sources: list[str]
+
+    def args(self) -> tuple[int, int, list[str]]:
+        return (self.index, self.base, self.sources)
 
 
 def _chunked(sources: Iterable[str], size: int) -> Iterator[list[str]]:
@@ -265,6 +356,7 @@ class CorpusEngine:
         """
         stats = stats if stats is not None else self.new_stats()
         tracer = resolve_tracer(tracer)
+        policy = self.engine_config.resolved_policy()
         started = time.perf_counter()
         workers = stats.workers
         chunks = enumerate(_chunked(sources, stats.chunk_size))
@@ -272,57 +364,75 @@ class CorpusEngine:
 
         def merge(payload: ChunkPayload) -> ChunkPayload:
             stats.absorb(payload.stats)
+            # Wall clock advances at every merge, so an abandoned stream
+            # still reports the time actually spent (not a close/GC-time
+            # reading, and never a stale 0.0).
+            stats.wall_seconds = time.perf_counter() - started
             if payload.spans:
                 tracer.adopt(
                     payload.spans, prefix=f"c{payload.stats.index}."
                 )
             if payload.events and provenance is not None:
                 provenance.extend(payload.events)
+            for failure in payload.failures:
+                stats.failures.append(failure)
+                if policy.mode == "quarantine":
+                    write_quarantine(policy.quarantine_dir, failure)
             return payload
 
-        try:
-            if workers == 1:
-                converter = self._converter()
+        if workers == 1:
+            converter = self._converter()
+            try:
                 for index, chunk in chunks:
                     stats.max_queue_depth = max(stats.max_queue_depth, 1)
                     # Inline: record straight into the caller's tracer --
                     # nothing to re-parent, payload.spans stays None.
                     payload = _run_chunk(
-                        converter, index, doc_cursor, chunk, tracer, provenance
+                        converter, index, doc_cursor, chunk, tracer,
+                        provenance, policy,
                     )
                     doc_cursor += len(chunk)
-                    stats.absorb(payload.stats)
-                    yield payload
-                return
-            max_pending = self.engine_config.resolved_pending(workers)
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(
-                    self.kb,
-                    self.config,
-                    self.bayes,
-                    tracer.enabled,
-                    provenance is not None,
-                ),
-            ) as pool:
-                pending: deque[Future[ChunkPayload]] = deque()
-                for index, chunk in chunks:
-                    pending.append(
-                        pool.submit(_convert_chunk, (index, doc_cursor, chunk))
+                    yield merge(payload)
+            finally:
+                stats.wall_seconds = time.perf_counter() - started
+            return
+
+        max_pending = self.engine_config.resolved_pending(workers)
+        budget = RecoveryBudget(self.engine_config.max_pool_rebuilds)
+        obs = (tracer.enabled, provenance is not None)
+        pool = self._spawn_pool(workers, policy, *obs)
+        pending: deque[tuple[_ChunkTask, Future[ChunkPayload]]] = deque()
+        interrupted = False
+        try:
+            for index, chunk in chunks:
+                task = _ChunkTask(index, doc_cursor, chunk)
+                doc_cursor += len(chunk)
+                pending.append((task, pool.submit(_convert_chunk, task.args())))
+                stats.max_queue_depth = max(
+                    stats.max_queue_depth, len(pending)
+                )
+                # Backpressure: consume the oldest chunk (preserving
+                # document order) before submitting past the window.
+                while len(pending) >= max_pending:
+                    payload, pool = self._next_payload(
+                        pending, pool, workers, policy, budget, stats, obs
                     )
-                    doc_cursor += len(chunk)
-                    stats.max_queue_depth = max(
-                        stats.max_queue_depth, len(pending)
-                    )
-                    # Backpressure: consume the oldest chunk (preserving
-                    # document order) before submitting past the window.
-                    while len(pending) >= max_pending:
-                        yield merge(pending.popleft().result())
-                while pending:
-                    yield merge(pending.popleft().result())
+                    yield merge(payload)
+            while pending:
+                payload, pool = self._next_payload(
+                    pending, pool, workers, policy, budget, stats, obs
+                )
+                yield merge(payload)
+        except GeneratorExit:
+            # The consumer closed the stream mid-corpus: do not block on
+            # in-flight chunks (the old `with pool:` exit did, leaking
+            # the caller's time into generator close), and drop queued
+            # ones on the floor.
+            interrupted = True
+            raise
         finally:
             stats.wall_seconds = time.perf_counter() - started
+            pool.shutdown(wait=not interrupted, cancel_futures=interrupted)
 
     def convert_corpus(
         self,
@@ -341,16 +451,25 @@ class CorpusEngine:
         tracer = resolve_tracer(tracer)
         stats = self.new_stats()
         xml_documents: list[str] = []
+        failures: list[DocumentFailure] = []
         accumulator = PathAccumulator()
         with tracer.span("engine.convert_corpus") as span:
             for payload in self.stream(
                 sources, stats=stats, tracer=tracer, provenance=provenance
             ):
                 xml_documents.extend(payload.xml)
+                failures.extend(payload.failures)
                 accumulator.update(payload.accumulator)
-            span.set(documents=stats.documents, chunks=stats.chunks)
+            span.set(
+                documents=stats.documents,
+                chunks=stats.chunks,
+                documents_failed=stats.documents_failed,
+            )
         return CorpusResult(
-            xml_documents=xml_documents, accumulator=accumulator, stats=stats
+            xml_documents=xml_documents,
+            accumulator=accumulator,
+            stats=stats,
+            failures=failures,
         )
 
     # -- discovery -----------------------------------------------------------
@@ -426,6 +545,10 @@ class CorpusEngine:
                 sources, tracer=tracer, provenance=provenance
             )
             discovery = None
+            # Schema discovery needs surviving documents: an empty corpus
+            # -- or one where the error policy dropped *every* document --
+            # yields discovery=None rather than mining an empty
+            # accumulator into a degenerate schema.
             if discover and corpus.stats.documents:
                 discovery = self.discover(
                     corpus.accumulator,
@@ -435,6 +558,189 @@ class CorpusEngine:
                     tracer=tracer,
                 )
         return EngineRun(corpus=corpus, discovery=discovery)
+
+    # -- worker-crash recovery ----------------------------------------------
+
+    def _spawn_pool(
+        self,
+        workers: int,
+        policy: ErrorPolicy,
+        trace: bool,
+        provenance_on: bool,
+    ) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(
+                self.kb,
+                self.config,
+                self.bayes,
+                trace,
+                provenance_on,
+                policy,
+            ),
+        )
+
+    def _rebuild_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        workers: int,
+        policy: ErrorPolicy,
+        budget: RecoveryBudget,
+        stats: EngineStats,
+        obs: tuple[bool, bool],
+    ) -> ProcessPoolExecutor:
+        """Replace a broken pool (bounded by the recovery budget)."""
+        budget.spend()
+        stats.record_pool_rebuild()
+        pool.shutdown(wait=False, cancel_futures=True)
+        return self._spawn_pool(workers, policy, *obs)
+
+    def _next_payload(
+        self,
+        pending: deque[tuple[_ChunkTask, Future[ChunkPayload]]],
+        pool: ProcessPoolExecutor,
+        workers: int,
+        policy: ErrorPolicy,
+        budget: RecoveryBudget,
+        stats: EngineStats,
+        obs: tuple[bool, bool],
+    ) -> tuple[ChunkPayload, ProcessPoolExecutor]:
+        """The oldest pending chunk's payload, recovering worker crashes.
+
+        A dead worker surfaces as ``BrokenProcessPool`` on whichever
+        future is awaited -- not necessarily the chunk that killed it.
+        Under fail-fast the error propagates (historical behavior);
+        otherwise the pool is rebuilt, the awaited chunk is re-run with
+        bisection (isolating any killer documents it contains as
+        :class:`DocumentFailure` records while salvaging its siblings),
+        and every other in-flight chunk is resubmitted in order, so the
+        in-order merge semantics survive the crash.
+        """
+        task, future = pending.popleft()
+        try:
+            return future.result(), pool
+        except BrokenProcessPool:
+            if policy.is_fail_fast:
+                raise
+            pool = self._rebuild_pool(pool, workers, policy, budget, stats, obs)
+            payload, pool = self._salvage_chunk(
+                pool, task, workers, policy, budget, stats, obs
+            )
+            # Every other in-flight future died with the pool; resubmit
+            # the chunks in their original order on the rebuilt pool.
+            for position, (other, _dead) in enumerate(pending):
+                pending[position] = (
+                    other, pool.submit(_convert_chunk, other.args())
+                )
+            return payload, pool
+
+    def _salvage_chunk(
+        self,
+        pool: ProcessPoolExecutor,
+        task: _ChunkTask,
+        workers: int,
+        policy: ErrorPolicy,
+        budget: RecoveryBudget,
+        stats: EngineStats,
+        obs: tuple[bool, bool],
+    ) -> tuple[ChunkPayload, ProcessPoolExecutor]:
+        """Re-run one chunk, bisecting around worker-killing documents.
+
+        The chunk's sources are processed as a worklist of contiguous
+        segments: a segment that converts cleanly is kept whole; one
+        that breaks the pool again is split in half (single documents
+        are the proven killers and become ``stage="worker"`` failures).
+        The surviving pieces are stitched back into a single payload
+        with the chunk's original index, so the caller's in-order merge
+        never notices the detour.
+        """
+        segments: deque[tuple[int, list[str]]] = deque(
+            [(task.base, task.sources)]
+        )
+        pieces: list[tuple[int, ChunkPayload | DocumentFailure]] = []
+        while segments:
+            base, sources = segments.popleft()
+            future = pool.submit(_convert_chunk, (task.index, base, sources))
+            try:
+                pieces.append((base, future.result()))
+            except BrokenProcessPool:
+                pool = self._rebuild_pool(
+                    pool, workers, policy, budget, stats, obs
+                )
+                if len(sources) == 1:
+                    pieces.append(
+                        (
+                            base,
+                            worker_crash_failure(
+                                f"doc{base:04d}",
+                                base,
+                                source=sources[0]
+                                if policy.captures_source
+                                else None,
+                            ),
+                        )
+                    )
+                else:
+                    for segment in reversed(split_segment(base, sources)):
+                        segments.appendleft(segment)
+        return self._stitch_chunk(task.index, pieces, obs[1]), pool
+
+    @staticmethod
+    def _stitch_chunk(
+        index: int,
+        pieces: list[tuple[int, ChunkPayload | DocumentFailure]],
+        provenance_on: bool,
+    ) -> ChunkPayload:
+        """Reassemble bisection pieces into one in-order chunk payload."""
+        xml: list[str] = []
+        accumulator = PathAccumulator()
+        stats = ChunkStats(index=index, documents=0)
+        spans: list[dict] = []
+        events: list[dict] = []
+        failures: list[DocumentFailure] = []
+        for base, piece in sorted(pieces, key=lambda item: item[0]):
+            if isinstance(piece, DocumentFailure):
+                stats.documents_failed += 1
+                stats.failures_by_stage[piece.stage] = (
+                    stats.failures_by_stage.get(piece.stage, 0) + 1
+                )
+                failures.append(piece)
+                if provenance_on:
+                    log = ProvenanceLog()
+                    log.error_event(
+                        piece.doc_id,
+                        piece.stage,
+                        piece.error_type,
+                        piece.message,
+                        index=piece.index,
+                    )
+                    events.extend(log.events)
+                continue
+            xml.extend(piece.xml)
+            accumulator.update(piece.accumulator)
+            stats.fold(piece.stats)
+            if piece.spans:
+                # Each piece came from a fresh worker tracer whose span
+                # ids restart at w1; namespace per segment so the chunk
+                # prefix applied at adopt time stays collision-free.
+                for span in piece.spans:
+                    span = dict(span)
+                    span["id"] = f"b{base}.{span['id']}"
+                    if span.get("parent") is not None:
+                        span["parent"] = f"b{base}.{span['parent']}"
+                    spans.append(span)
+            if piece.events:
+                events.extend(piece.events)
+            failures.extend(piece.failures)
+        return ChunkPayload(
+            xml=xml,
+            accumulator=accumulator,
+            stats=stats,
+            spans=spans or None,
+            events=events or None,
+            failures=failures,
+        )
 
     # -- internals -----------------------------------------------------------
 

@@ -1,0 +1,88 @@
+"""Engine-side fault tolerance: worker-crash accounting and recovery.
+
+The conversion-layer vocabulary (:class:`DocumentFailure`,
+:class:`ErrorPolicy`, :class:`PipelineStageError`, quarantine writing)
+lives in :mod:`repro.convert.errors` so the serial
+:meth:`~repro.convert.pipeline.DocumentConverter.convert_many` path can
+honor the same policies; this module re-exports it and adds what only
+the process-pool engine needs:
+
+* :func:`worker_crash_failure` -- the :class:`DocumentFailure` recorded
+  for a document that *killed its worker* (OOM, segfault, ``os._exit``):
+  there is no Python exception to capture, so the stage is
+  ``WORKER_STAGE`` and the type ``WorkerCrash``.
+* :class:`RecoveryBudget` -- the bounded-retry counter for pool
+  rebuilds.  A corpus where every chunk keeps breaking the pool must
+  abort rather than rebuild forever; the budget raises
+  :class:`PoolRebuildExhausted` when spent.
+* :func:`split_segment` -- one bisection step over a chunk's sources.
+  When a chunk breaks the pool the engine cannot know *which* document
+  killed the worker, so it re-runs the chunk in halves, recursing into
+  whichever half breaks the pool again, until the killer is isolated as
+  a single document and its siblings are salvaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.convert.errors import (  # noqa: F401  (re-exported fault API)
+    ERROR_MODES,
+    DocumentFailure,
+    ErrorPolicy,
+    InjectedFaultError,
+    PipelineStageError,
+    failure_from_exception,
+    truncate_traceback,
+    write_quarantine,
+)
+
+# The pseudo-stage recorded for documents that took their worker down
+# with them (no pipeline stage ever raised).
+WORKER_STAGE = "worker"
+
+
+class PoolRebuildExhausted(RuntimeError):
+    """Raised when worker crashes outnumber the rebuild budget."""
+
+
+@dataclass
+class RecoveryBudget:
+    """Bounded retries for pool rebuilds during one engine run."""
+
+    limit: int
+    spent: int = 0
+
+    def spend(self) -> None:
+        self.spent += 1
+        if self.spent > self.limit:
+            raise PoolRebuildExhausted(
+                f"worker pool broke {self.spent} times; "
+                f"rebuild budget is {self.limit} (EngineConfig.max_pool_rebuilds)"
+            )
+
+
+def worker_crash_failure(
+    doc_id: str, index: int, *, source: str | None = None
+) -> DocumentFailure:
+    """The failure record for a document whose conversion killed the
+    worker process (identified by chunk bisection)."""
+    return DocumentFailure(
+        doc_id=doc_id,
+        index=index,
+        stage=WORKER_STAGE,
+        error_type="WorkerCrash",
+        message="worker process died while converting this document "
+        "(BrokenProcessPool; isolated by chunk bisection)",
+        source=source,
+    )
+
+
+def split_segment(
+    base: int, sources: list[str]
+) -> list[tuple[int, list[str]]]:
+    """One bisection step: the (base, sources) halves of a multi-document
+    segment, in document order.  Callers only split segments of length
+    >= 2 (a single document that breaks the pool *is* the killer)."""
+    mid = len(sources) // 2
+    return [(base, sources[:mid]), (base + mid, sources[mid:])]

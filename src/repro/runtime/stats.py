@@ -19,11 +19,21 @@ without a profiler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.obs.metrics import MetricsRegistry
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.convert.errors import DocumentFailure
+
 # Metric names of the engine's registry schema.
 DOCUMENTS = "repro_engine_documents_total"
+# Documents dropped by a non-fail-fast error policy, labeled
+# {stage="parse"|"tokenize"|...|"worker"} by the pipeline stage (or
+# worker crash) that claimed them.
+DOCUMENTS_FAILED = "repro_engine_documents_failed_total"
+# Worker-pool rebuilds performed by BrokenProcessPool recovery.
+POOL_REBUILDS = "repro_engine_pool_rebuilds_total"
 CHUNKS = "repro_engine_chunks_total"
 TOKENS_CREATED = "repro_engine_tokens_created_total"
 GROUPS_CREATED = "repro_engine_groups_created_total"
@@ -58,6 +68,11 @@ class ChunkStats:
 
     index: int
     documents: int
+    # Documents a skip/quarantine policy dropped in this chunk, total
+    # and broken down by the pipeline stage that failed (``"worker"``
+    # for documents whose conversion killed the worker process).
+    documents_failed: int = 0
+    failures_by_stage: dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
     tokens_created: int = 0
     groups_created: int = 0
@@ -69,6 +84,29 @@ class ChunkStats:
     # ({"synonym": {"hits": ..., "misses": ..., "evictions": ...}});
     # empty when the fast tagger or its memoization is off.
     tagger_cache: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def fold(self, other: "ChunkStats") -> None:
+        """Accumulate another chunk record into this one (used when
+        crash recovery stitches bisection pieces back into the original
+        chunk; ``index`` keeps this record's value)."""
+        self.documents += other.documents
+        self.documents_failed += other.documents_failed
+        for stage, count in other.failures_by_stage.items():
+            self.failures_by_stage[stage] = (
+                self.failures_by_stage.get(stage, 0) + count
+            )
+        self.seconds += other.seconds
+        self.tokens_created += other.tokens_created
+        self.groups_created += other.groups_created
+        self.nodes_eliminated += other.nodes_eliminated
+        self.input_nodes += other.input_nodes
+        self.concept_nodes += other.concept_nodes
+        for rule, seconds in other.rule_seconds.items():
+            self.rule_seconds[rule] = self.rule_seconds.get(rule, 0.0) + seconds
+        for cache_name, counters in other.tagger_cache.items():
+            held = self.tagger_cache.setdefault(cache_name, {})
+            for event, value in counters.items():
+                held[event] = held.get(event, 0) + value
 
 
 def rule_rows_from_registry(registry: MetricsRegistry) -> list[list[str]]:
@@ -109,6 +147,10 @@ class EngineStats:
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.per_chunk: list[ChunkStats] = []
+        # Structured failure records collected by the engine's merge loop
+        # (parent-side only; counters below persist through the registry,
+        # this detail list does not).
+        self.failures: list["DocumentFailure"] = []
         self.workers = workers
         self.chunk_size = chunk_size
 
@@ -140,6 +182,29 @@ class EngineStats:
     @property
     def chunks(self) -> int:
         return self._count(CHUNKS)
+
+    @property
+    def documents_failed(self) -> int:
+        """Documents dropped by the error policy, across all stages."""
+        return sum(
+            int(metric.value) for metric in self.registry.find(DOCUMENTS_FAILED)
+        )
+
+    @property
+    def failures_by_stage(self) -> dict[str, int]:
+        """Dropped-document counts keyed by failing pipeline stage."""
+        return {
+            metric.label_dict().get("stage", "?"): int(metric.value)  # type: ignore[union-attr]
+            for metric in self.registry.find(DOCUMENTS_FAILED)
+        }
+
+    @property
+    def pool_rebuilds(self) -> int:
+        """Worker-pool rebuilds performed by crash recovery."""
+        return self._count(POOL_REBUILDS)
+
+    def record_pool_rebuild(self) -> None:
+        self.registry.counter(POOL_REBUILDS).inc()
 
     @property
     def wall_seconds(self) -> float:
@@ -228,6 +293,8 @@ class EngineStats:
         registry = self.registry
         registry.counter(CHUNKS).inc()
         registry.counter(DOCUMENTS).inc(chunk.documents)
+        for stage, count in chunk.failures_by_stage.items():
+            registry.counter(DOCUMENTS_FAILED, stage=stage).inc(count)
         registry.counter(WORKER_SECONDS).inc(chunk.seconds)
         registry.counter(TOKENS_CREATED).inc(chunk.tokens_created)
         registry.counter(GROUPS_CREATED).inc(chunk.groups_created)
@@ -251,6 +318,7 @@ class EngineStats:
         stats = cls.__new__(cls)
         stats.registry = registry
         stats.per_chunk = []
+        stats.failures = []
         return stats
 
     # -- report tables -------------------------------------------------------
@@ -281,6 +349,24 @@ class EngineStats:
                     f"{hits}/{lookups} hits ({self.tagger_cache_hit_rate:.0%})",
                 ]
             )
+        rows.extend(self.failure_rows())
+        return rows
+
+    def failure_rows(self) -> list[list[str]]:
+        """The failure-report section of the summary table.
+
+        Empty on a clean run, so historical reports are unchanged; with
+        failures it leads with the total, then one row per failing
+        stage, then pool rebuilds when crash recovery ran.
+        """
+        failed = self.failures_by_stage
+        if not failed and not self.pool_rebuilds:
+            return []
+        rows = [["documents failed", str(self.documents_failed)]]
+        for stage, count in sorted(failed.items()):
+            rows.append([f"  failed @ {stage}", str(count)])
+        if self.pool_rebuilds:
+            rows.append(["pool rebuilds", str(self.pool_rebuilds)])
         return rows
 
     def rule_rows(self) -> list[list[str]]:

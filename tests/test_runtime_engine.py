@@ -167,6 +167,72 @@ class TestEngineStats:
         assert stats.wall_seconds > 0
 
 
+class TestStreamLifecycle:
+    """Regression tests for the stream generator's shutdown semantics."""
+
+    def test_early_close_cancels_inflight_work(
+        self, kb, corpus_html, monkeypatch
+    ):
+        """Closing the stream mid-corpus must not block on in-flight
+        chunks: the pool shuts down with ``wait=False`` and queued
+        futures cancelled, instead of silently converting the rest of
+        the corpus on the consumer's time."""
+        import repro.runtime.engine as engine_module
+
+        shutdown_calls = []
+
+        class RecordingPool(engine_module.ProcessPoolExecutor):
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                shutdown_calls.append((wait, cancel_futures))
+                super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        monkeypatch.setattr(
+            engine_module, "ProcessPoolExecutor", RecordingPool
+        )
+        engine = make_engine(kb, 2, chunk_size=2)
+        stream = engine.stream(corpus_html)
+        first = next(stream)
+        assert first.stats.index == 0
+        stream.close()
+        assert shutdown_calls == [(False, True)]
+
+    def test_normal_exhaustion_waits_for_pool(
+        self, kb, corpus_html, monkeypatch
+    ):
+        import repro.runtime.engine as engine_module
+
+        shutdown_calls = []
+
+        class RecordingPool(engine_module.ProcessPoolExecutor):
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                shutdown_calls.append((wait, cancel_futures))
+                super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        monkeypatch.setattr(
+            engine_module, "ProcessPoolExecutor", RecordingPool
+        )
+        engine = make_engine(kb, 2, chunk_size=3)
+        list(engine.stream(corpus_html))
+        assert shutdown_calls == [(True, False)]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_wall_seconds_advances_at_each_merge(
+        self, kb, corpus_html, workers
+    ):
+        """``wall_seconds`` is recorded incrementally, so a stream that
+        is abandoned (or still draining) reports time spent so far --
+        not a stale 0.0 that only the generator's finally would fix."""
+        engine = make_engine(kb, workers, chunk_size=2)
+        stats = engine.new_stats()
+        stream = engine.stream(corpus_html, stats=stats)
+        next(stream)
+        elapsed_after_first = stats.wall_seconds
+        assert elapsed_after_first > 0
+        next(stream)
+        assert stats.wall_seconds >= elapsed_after_first
+        stream.close()
+
+
 @pytest.mark.slow
 class TestDifferentialLargeCorpus:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
