@@ -1,0 +1,317 @@
+"""Parse-stage throughput: the bulk-scanning tokenizer vs the legacy scanner.
+
+Not a paper experiment -- the engineering number behind the parser fast
+path: MB/sec of ``_tokenize_fast`` (one master-regex match per markup
+construct) vs ``_tokenize_legacy`` (per-character stepping) over three
+HTML profiles, plus the end-to-end engine effect (docs/sec at 1/2/4
+workers with the fast parser on vs off) and the size of the
+:class:`PathAccumulator` wire form that chunk results ship home in.
+Everything is written to ``BENCH_engine.json`` at the repo root so
+regressions show up in review diffs.
+
+The three profiles stress different tokenizer lanes:
+
+* ``resume``    -- the generated corpus (seed 1966): text-heavy pages in
+                   the five historical layout styles.
+* ``chrome``    -- table-layout portal navigation: deeply nested markup,
+                   ``style``/``script`` raw-text blocks, short unquoted
+                   attributes.  Tag-dense, text-light.
+* ``directory`` -- link directories with long unquoted CGI URLs and
+                   several attributes per tag: the attribute-value hot
+                   spot, where bulk scanning pays off most (this class
+                   carries the headline speedup).
+
+The regression gates sit *under* the measured numbers by a tolerance
+band: shared runners showed up to ~2x run-to-run variance on the legacy
+scanner, so the gates catch a lost fast path (a real regression lands at
+1x) without flaking on machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from pathlib import Path
+from random import Random
+
+from repro.convert.config import ConversionConfig
+from repro.corpus.generator import ResumeCorpusGenerator
+from repro.evaluation.report import format_table
+from repro.htmlparse.tokenizer import _tokenize_fast, _tokenize_legacy
+from repro.runtime.engine import CorpusEngine, EngineConfig
+
+SEED = 1966
+TOKENIZER_ROUNDS = 12
+E2E_CORPUS_SIZE = 120
+E2E_CHUNK_SIZE = 8
+WORKER_COUNTS = [1, 2, 4]
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+# Gates (tolerance band under the measured headline numbers).
+MIN_DIRECTORY_SPEEDUP = 4.0
+MIN_AGGREGATE_SPEEDUP = 2.0
+MIN_E2E_RATIO_AT_4_WORKERS = 0.9
+
+
+# -- corpus profiles ----------------------------------------------------------
+
+
+def _chrome_page(rng: Random, index: int) -> str:
+    """A table-layout portal page: nav chrome, raw-text blocks, short
+    unquoted attributes."""
+    rows = []
+    for row in range(rng.randint(10, 16)):
+        cells = "".join(
+            f"<td class=nav width={rng.randint(40, 160)} align=left>"
+            f"<a href=/section{rng.randint(0, 40)}/page{rng.randint(0, 999)}.html>"
+            f"<b>Item {row}.{cell}</b></a></td>"
+            for cell in range(rng.randint(3, 6))
+        )
+        rows.append(f"<tr>{cells}</tr>")
+    style = "\n".join(
+        f".c{i} {{ color: #{rng.getrandbits(24):06x}; font-size: {rng.randint(8, 14)}pt }}"
+        for i in range(rng.randint(5, 12))
+    )
+    script = "\n".join(
+        f"var v{i} = {rng.randint(0, 9999)}; if (v{i} < {rng.randint(0, 99)}) "
+        f"document.write('<b>hot</b>');"
+        for i in range(rng.randint(4, 10))
+    )
+    return (
+        f"<html><head><title>Portal {index}</title>\n"
+        f"<style>\n{style}\n</style>\n<script>\n{script}\n</script>\n"
+        f"</head><body bgcolor=#ffffff topmargin=0>\n"
+        f"<table border=0 cellpadding=2 cellspacing=0 width=100%>\n"
+        + "\n".join(rows)
+        + "\n</table>\n<hr size=1>\n<center><font size=1>&copy; 2001 "
+        f"Portal {index}</font></center>\n</body></html>\n"
+    )
+
+
+def _directory_page(rng: Random, index: int) -> str:
+    """A link directory: long unquoted CGI URLs (semicolon query
+    separators, the W3C-recommended alternative to ``&``) and multiple
+    attributes per tag -- the profile where per-character attribute
+    scanning hurts the legacy path most."""
+    entries = []
+    for entry in range(rng.randint(30, 45)):
+        params = ";".join(
+            f"{key}{rng.randint(0, 9)}={rng.getrandbits(24):06x}"
+            for key in (
+                "cat", "id", "sess", "ref", "sort", "ord",
+                "view", "page", "per", "lang", "mirror", "hit",
+            )
+        )
+        entries.append(
+            f"<li class=entry id=e{entry}><a href=/cgi-bin/search?{params} "
+            f"target=_blank class=dirlink name=l{entry}>Listing {entry} of "
+            f"directory {index}</a> <font size=2 color=#333366 face=arial>"
+            f"updated {rng.randint(1, 28)}/0{rng.randint(1, 9)}/2001</font></li>"
+        )
+    return (
+        f"<html><head><title>Directory {index}</title></head><body>\n"
+        f"<h1>Directory {index}</h1>\n<ul>\n"
+        + "\n".join(entries)
+        + "\n</ul>\n</body></html>\n"
+    )
+
+
+def _profiles() -> dict[str, list[str]]:
+    rng = Random(SEED)
+    return {
+        "resume": ResumeCorpusGenerator(seed=SEED).generate_html(40),
+        "chrome": [_chrome_page(rng, i) for i in range(40)],
+        "directory": [_directory_page(rng, i) for i in range(40)],
+    }
+
+
+# -- measurement --------------------------------------------------------------
+
+
+def _measure_tokenizer(docs: list[str]) -> tuple[float, float, int]:
+    """Best-of-``TOKENIZER_ROUNDS`` interleaved pass times (legacy, fast).
+
+    Interleaving the two paths within each round keeps a frequency
+    ramp or a noisy neighbour from biasing one side; best-of takes the
+    least-perturbed observation of each.
+    """
+    chars = sum(len(doc) for doc in docs)
+    legacy_best = fast_best = float("inf")
+    for _ in range(TOKENIZER_ROUNDS):
+        started = time.perf_counter()
+        for doc in docs:
+            for _token in _tokenize_legacy(doc):
+                pass
+        legacy_best = min(legacy_best, time.perf_counter() - started)
+        started = time.perf_counter()
+        for doc in docs:
+            _tokenize_fast(doc)
+        fast_best = min(fast_best, time.perf_counter() - started)
+    return legacy_best, fast_best, chars
+
+
+def _engine_docs_per_sec(kb, html: list[str], *, fast: bool, workers: int):
+    engine = CorpusEngine(
+        kb,
+        ConversionConfig(fast_parser=fast),
+        engine_config=EngineConfig(max_workers=workers, chunk_size=E2E_CHUNK_SIZE),
+    )
+    result = engine.convert_corpus(html)
+    assert result.stats.documents == len(html)
+    return result
+
+
+def test_parse_throughput(benchmark, kb, capsys):
+    profiles = _profiles()
+
+    # Equivalence re-checked at benchmark scale before timing anything
+    # (full token tuples, source spans included).
+    for docs in profiles.values():
+        for doc in docs[:5]:
+            assert _tokenize_fast(doc) == list(_tokenize_legacy(doc))
+
+    tokenizer: dict[str, dict] = {}
+    total_legacy = total_fast = 0.0
+    total_chars = 0
+    for name, docs in profiles.items():
+        legacy_seconds, fast_seconds, chars = _measure_tokenizer(docs)
+        total_legacy += legacy_seconds
+        total_fast += fast_seconds
+        total_chars += chars
+        tokenizer[name] = {
+            "documents": len(docs),
+            "chars": chars,
+            "legacy_mb_per_sec": round(chars / legacy_seconds / 1e6, 2),
+            "fast_mb_per_sec": round(chars / fast_seconds / 1e6, 2),
+            "speedup": round(legacy_seconds / fast_seconds, 2),
+        }
+    aggregate_speedup = total_legacy / total_fast
+    tokenizer["aggregate"] = {
+        "documents": sum(len(docs) for docs in profiles.values()),
+        "chars": total_chars,
+        "legacy_mb_per_sec": round(total_chars / total_legacy / 1e6, 2),
+        "fast_mb_per_sec": round(total_chars / total_fast / 1e6, 2),
+        "speedup": round(aggregate_speedup, 2),
+    }
+
+    # End-to-end: the same corpus through the engine with the fast parser
+    # on vs off, at each worker count.
+    e2e_html = ResumeCorpusGenerator(seed=SEED).generate_html(E2E_CORPUS_SIZE)
+    engine_rows: dict[str, dict] = {}
+    last_fast_result = None
+    for workers in WORKER_COUNTS:
+        legacy_result = _engine_docs_per_sec(
+            kb, e2e_html, fast=False, workers=workers
+        )
+        if workers == WORKER_COUNTS[-1]:
+            last_fast_result = benchmark.pedantic(
+                lambda: _engine_docs_per_sec(
+                    kb, e2e_html, fast=True, workers=WORKER_COUNTS[-1]
+                ),
+                rounds=1,
+                iterations=1,
+            )
+            fast_result = last_fast_result
+        else:
+            fast_result = _engine_docs_per_sec(
+                kb, e2e_html, fast=True, workers=workers
+            )
+        engine_rows[str(workers)] = {
+            "legacy_docs_per_sec": round(legacy_result.stats.docs_per_second, 1),
+            "fast_docs_per_sec": round(fast_result.stats.docs_per_second, 1),
+            "ratio": round(
+                fast_result.stats.docs_per_second
+                / legacy_result.stats.docs_per_second,
+                3,
+            ),
+        }
+
+    assert last_fast_result is not None
+    stage_seconds = {
+        stage: round(seconds, 4)
+        for stage, seconds in sorted(last_fast_result.stats.rule_seconds.items())
+    }
+
+    # Accumulator wire form: the compact pickle chunk results cross the
+    # process boundary in, vs the pre-wire-form __dict__ pickle.
+    accumulator = last_fast_result.accumulator
+    wire_bytes = len(pickle.dumps(accumulator, protocol=pickle.HIGHEST_PROTOCOL))
+    dict_bytes = len(
+        pickle.dumps(dict(accumulator.__dict__), protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+    record = {
+        "tokenizer": tokenizer,
+        "engine": {
+            "corpus_documents": E2E_CORPUS_SIZE,
+            "chunk_size": E2E_CHUNK_SIZE,
+            "workers": engine_rows,
+        },
+        "stage_seconds_at_4_workers": stage_seconds,
+        "accumulator_wire": {
+            "wire_bytes": wire_bytes,
+            "dict_state_bytes": dict_bytes,
+            "savings": round(1.0 - wire_bytes / dict_bytes, 3),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["profile", "legacy MB/s", "fast MB/s", "speedup"],
+                [
+                    [
+                        name,
+                        f"{row['legacy_mb_per_sec']:.2f}",
+                        f"{row['fast_mb_per_sec']:.2f}",
+                        f"{row['speedup']:.2f}x",
+                    ]
+                    for name, row in tokenizer.items()
+                ],
+                title="[parse] tokenizer throughput (best of "
+                f"{TOKENIZER_ROUNDS} interleaved rounds)",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["workers", "parser off", "parser on", "ratio"],
+                [
+                    [
+                        workers,
+                        f"{row['legacy_docs_per_sec']:.1f}",
+                        f"{row['fast_docs_per_sec']:.1f}",
+                        f"{row['ratio']:.2f}x",
+                    ]
+                    for workers, row in engine_rows.items()
+                ],
+                title=f"[parse] engine docs/sec, {E2E_CORPUS_SIZE}-doc corpus",
+            )
+        )
+        print(
+            f"  accumulator wire: {wire_bytes} bytes "
+            f"({record['accumulator_wire']['savings']:.0%} under dict state) "
+            f"-> {BENCH_PATH.name}"
+        )
+
+    directory_speedup = tokenizer["directory"]["speedup"]
+    assert directory_speedup >= MIN_DIRECTORY_SPEEDUP, (
+        f"directory-profile tokenizer speedup below the "
+        f"{MIN_DIRECTORY_SPEEDUP}x bar: {directory_speedup:.2f}x"
+    )
+    assert aggregate_speedup >= MIN_AGGREGATE_SPEEDUP, (
+        f"aggregate tokenizer speedup below the "
+        f"{MIN_AGGREGATE_SPEEDUP}x bar: {aggregate_speedup:.2f}x"
+    )
+    four = engine_rows[str(WORKER_COUNTS[-1])]
+    assert four["ratio"] >= MIN_E2E_RATIO_AT_4_WORKERS, (
+        f"fast parser made the {WORKER_COUNTS[-1]}-worker engine slower: "
+        f"{four['fast_docs_per_sec']} vs {four['legacy_docs_per_sec']} docs/sec"
+    )
+    assert wire_bytes < dict_bytes, (
+        f"accumulator wire form larger than dict state: "
+        f"{wire_bytes} >= {dict_bytes} bytes"
+    )

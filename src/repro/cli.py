@@ -61,6 +61,7 @@ def _conversion_config(args: argparse.Namespace) -> "ConversionConfig":
 
     return ConversionConfig(
         fast_tagger=not args.no_fast_tagger,
+        fast_parser=not getattr(args, "no_fast_parser", False),
         chaos_fail_marker=getattr(args, "chaos_fail_marker", "") or None,
         chaos_kill_marker=getattr(args, "chaos_kill_marker", "") or None,
     )
@@ -405,6 +406,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the Aho-Corasick tagging fast path (differential "
         "baseline; output is guaranteed identical either way)",
     )
+    conv.add_argument(
+        "--no-fast-parser",
+        action="store_true",
+        help="disable the bulk-scanning HTML tokenizer (differential "
+        "baseline; the parse tree is guaranteed identical either way)",
+    )
     conv.set_defaults(func=_cmd_html2xml)
 
     engine = sub.add_parser(
@@ -453,6 +460,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the Aho-Corasick tagging fast path (differential "
         "baseline; output is guaranteed identical either way)",
+    )
+    engine.add_argument(
+        "--no-fast-parser",
+        action="store_true",
+        help="disable the bulk-scanning HTML tokenizer (differential "
+        "baseline; the parse tree is guaranteed identical either way)",
     )
     engine.add_argument(
         "--on-error",

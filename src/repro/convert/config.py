@@ -33,6 +33,12 @@ class ConversionConfig:
     # memoized token decisions, differentially guaranteed to emit the
     # same matches as the naive per-pattern matcher.
     fast_tagger: bool = True
+    # Route HTML parsing through the bulk-scanning tokenizer
+    # (repro.htmlparse.tokenizer fast path): one master-regex match per
+    # markup construct instead of per-character stepping, differentially
+    # guaranteed to emit the same token stream (spans included) as the
+    # legacy scanner.
+    fast_parser: bool = True
     # Entries in each token-decision LRU (synonym match lists and Bayes
     # predictions are cached separately); 0 disables memoization while
     # keeping the automaton.

@@ -169,7 +169,7 @@ class DocumentConverter:
                 started = time.perf_counter()
                 with tracer.span("convert.parse"):
                     if isinstance(html, str):
-                        document = parse_html(html)
+                        document = parse_html(html, fast=self.config.fast_parser)
                     else:
                         document = clone(html) if copy else html
                 timings["parse"] = time.perf_counter() - started

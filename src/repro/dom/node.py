@@ -155,6 +155,17 @@ class Element(Node):
         self.children.append(node)
         return node
 
+    def adopt_new(self, node: Node) -> Node:
+        """Append a node the caller guarantees is parentless.
+
+        Skips :meth:`append_child`'s detach bookkeeping; tree builders
+        use it for freshly constructed nodes, where the detach scan over
+        the old parent's child list is pure overhead.
+        """
+        node.parent = self
+        self.children.append(node)
+        return node
+
     def insert_child(self, index: int, node: Node) -> Node:
         """Insert ``node`` at ``index`` (detaching it first)."""
         node.detach()

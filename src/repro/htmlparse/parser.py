@@ -65,7 +65,7 @@ class _TreeBuilder:
             return
         self._close_implied(name)
         element = Element(name, attrs)
-        self._current().append_child(element)
+        self.stack[-1].adopt_new(element)
         if not is_void(name) and not self_closing:
             self.stack.append(element)
 
@@ -81,10 +81,14 @@ class _TreeBuilder:
     def end_tag(self, name: str) -> None:
         if not self.fragment and name in _DOCUMENT_TAGS:
             return
-        if name not in self._open_tags():
+        stack = self.stack
+        for open_element in reversed(stack):
+            if open_element.tag == name:
+                break
+        else:
             return  # stray end tag: drop it
-        while len(self.stack) > 1:
-            closed = self.stack.pop()
+        while len(stack) > 1:
+            closed = stack.pop()
             if closed.tag == name:
                 return
         # ``name`` was the root scope marker itself; nothing else to do.
@@ -92,13 +96,14 @@ class _TreeBuilder:
     def text(self, data: str) -> None:
         if _WHITESPACE_ONLY_RE.match(data):
             return
-        current = self._current()
+        current = self.stack[-1]
         # Merge adjacent text nodes so downstream tokenization sees whole
         # topic sentences.
-        if current.children and isinstance(current.children[-1], Text):
-            current.children[-1].text += data
+        children = current.children
+        if children and isinstance(children[-1], Text):
+            children[-1].text += data
         else:
-            current.append_child(Text(data))
+            current.adopt_new(Text(data))
 
     def finish(self) -> Element:
         if self.fragment:
@@ -109,30 +114,39 @@ class _TreeBuilder:
         return self.root
 
 
-def parse_html(source: str) -> Element:
+def parse_html(source: str, *, fast: bool = True) -> Element:
     """Parse an HTML document string into an element tree.
 
     Returns the ``html`` root element; body content hangs under its
     ``body`` child regardless of whether the source declared one.
+    ``fast=False`` routes through the legacy per-character tokenizer
+    (the differential oracle); the tree is identical either way.
     """
     builder = _TreeBuilder(fragment=False)
-    return _run(builder, source)
+    return _run(builder, source, fast=fast)
 
 
-def parse_fragment(source: str) -> Element:
+def parse_fragment(source: str, *, fast: bool = True) -> Element:
     """Parse an HTML fragment; returns a ``#fragment`` container element."""
     builder = _TreeBuilder(fragment=True)
-    return _run(builder, source)
+    return _run(builder, source, fast=fast)
 
 
-def _run(builder: _TreeBuilder, source: str) -> Element:
-    for token in tokenize(source):
-        if token.type is TokenType.START_TAG:
-            builder.start_tag(token.data, token.attrs, token.self_closing)
-        elif token.type is TokenType.END_TAG:
-            builder.end_tag(token.data)
-        elif token.type is TokenType.TEXT:
-            builder.text(token.data)
+def _run(builder: _TreeBuilder, source: str, *, fast: bool = True) -> Element:
+    start_tag = builder.start_tag
+    end_tag = builder.end_tag
+    text = builder.text
+    start_type = TokenType.START_TAG
+    end_type = TokenType.END_TAG
+    text_type = TokenType.TEXT
+    for token in tokenize(source, fast=fast):
+        token_type = token.type
+        if token_type is start_type:
+            start_tag(token.data, token.attrs, token.self_closing)
+        elif token_type is text_type:
+            text(token.data)
+        elif token_type is end_type:
+            end_tag(token.data)
         # comments and doctype: ignored
     return builder.finish()
 

@@ -102,6 +102,20 @@ _P_CLOSERS = (
 ) | frozenset({"p"})
 
 
+# Flat tag -> closed-set table, precomputed once at import so the
+# parser's per-start-tag lookup is a single dict probe instead of a set
+# construction.  Sorted iteration keeps the table's build order
+# deterministic regardless of hash seed.
+_EMPTY_TAGSET: frozenset[str] = frozenset()
+_CLOSED_BY: dict[str, frozenset[str]] = {}
+for _tag in sorted(set(_SIBLING_CLOSERS) | _P_CLOSERS):
+    _closed = set(_SIBLING_CLOSERS.get(_tag, _EMPTY_TAGSET))
+    if _tag in _P_CLOSERS:
+        _closed.add("p")
+    _CLOSED_BY[_tag] = frozenset(_closed)
+del _tag, _closed
+
+
 def tags_closed_by(tag: str) -> frozenset[str]:
     """Open tags implicitly closed when ``tag`` starts.
 
@@ -109,10 +123,7 @@ def tags_closed_by(tag: str) -> frozenset[str]:
     ``<li>``, any block element closes an open ``<p>``, table parts close
     each other, and so on.
     """
-    closed = set(_SIBLING_CLOSERS.get(tag, frozenset()))
-    if tag in _P_CLOSERS:
-        closed.add("p")
-    return frozenset(closed)
+    return _CLOSED_BY.get(tag, _EMPTY_TAGSET)
 
 
 def is_void(tag: str) -> bool:

@@ -28,9 +28,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from sys import intern
 
 from repro.dom.node import Element
 from repro.schema.paths import DocumentPaths, LabelPath, extract_paths
+
+# Version tag of the compact pickled form (see __getstate__).
+_WIRE_VERSION = 1
 
 
 @dataclass
@@ -115,6 +119,101 @@ class PathAccumulator:
                 for path, histogram in self.multiplicity_docs.items()
             },
         )
+
+    # -- wire form -----------------------------------------------------------
+    #
+    # Chunk results cross the engine's process boundary as pickles, and
+    # the accumulator dominates their size: every statistic is keyed by a
+    # label-path tuple whose labels repeat across thousands of paths.
+    # The wire form writes each distinct label once, encodes paths as
+    # tuples of small integer indices, and stores each dict as a pair of
+    # parallel lists (keys, values) -- cheaper on the wire than per-entry
+    # pair tuples or pickled Counter objects.  Dict insertion order is
+    # preserved exactly (the encoder walks each dict in order and the
+    # decoder rebuilds in the same order) and the three dicts are encoded
+    # independently, so a path present in one but absent from another
+    # round-trips as exactly that -- missing stays missing, 0.0 stays
+    # 0.0.
+
+    def __getstate__(self) -> tuple:
+        label_index: dict[str, int] = {}
+        labels: list[str] = []
+        packed_paths: dict[LabelPath, tuple[int, ...]] = {}
+
+        def pack(path: LabelPath) -> tuple[int, ...]:
+            packed = packed_paths.get(path)
+            if packed is None:
+                indices = []
+                for label in path:
+                    index = label_index.get(label)
+                    if index is None:
+                        index = label_index[label] = len(labels)
+                        labels.append(label)
+                    indices.append(index)
+                packed = packed_paths[path] = tuple(indices)
+            return packed
+
+        return (
+            _WIRE_VERSION,
+            self.document_count,
+            labels,
+            [pack(path) for path in self.doc_frequency],
+            list(self.doc_frequency.values()),
+            [pack(path) for path in self.position_sum],
+            list(self.position_sum.values()),
+            [pack(path) for path in self.multiplicity_docs],
+            [
+                tuple(histogram.items())
+                for histogram in self.multiplicity_docs.values()
+            ],
+        )
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, dict):
+            # Pickles from before the wire form carried __dict__ state.
+            self.__dict__.update(state)
+            return
+        version = state[0]
+        if version != _WIRE_VERSION:
+            raise ValueError(
+                f"unsupported PathAccumulator wire version: {version!r}"
+            )
+        (
+            _,
+            document_count,
+            raw_labels,
+            frequency_paths,
+            frequency_counts,
+            position_paths,
+            position_values,
+            multiplicity_paths,
+            multiplicity_histograms,
+        ) = state
+        # Interning restores the one-string-object-per-label property
+        # extract_paths establishes, so merged accumulators in the parent
+        # process don't hold per-chunk duplicate label strings.
+        labels = [intern(label) for label in raw_labels]
+        paths: dict[tuple[int, ...], LabelPath] = {}
+
+        def unpack(packed: tuple[int, ...]) -> LabelPath:
+            path = paths.get(packed)
+            if path is None:
+                path = paths[packed] = tuple(labels[i] for i in packed)
+            return path
+
+        self.document_count = document_count
+        self.doc_frequency = Counter(
+            dict(zip(map(unpack, frequency_paths), frequency_counts))
+        )
+        self.position_sum = dict(
+            zip(map(unpack, position_paths), position_values)
+        )
+        self.multiplicity_docs = {
+            unpack(packed): Counter(dict(histogram))
+            for packed, histogram in zip(
+                multiplicity_paths, multiplicity_histograms
+            )
+        }
 
     # -- mining statistics (Section 3.2) -------------------------------------
 

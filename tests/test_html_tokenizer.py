@@ -4,7 +4,19 @@ from repro.htmlparse.tokenizer import Token, TokenType, tokenize
 
 
 def toks(source):
-    return list(tokenize(source))
+    """Tokenize through the fast path, asserting the legacy path agrees.
+
+    Every example in this file is thereby a differential test: the
+    returned stream is the fast tokenizer's, checked token-for-token
+    (source spans included) against the per-character oracle.
+    """
+    fast = list(tokenize(source, fast=True))
+    legacy = list(tokenize(source, fast=False))
+    assert fast == legacy
+    assert [(t.start, t.end) for t in fast] == [
+        (t.start, t.end) for t in legacy
+    ]
+    return fast
 
 
 class TestBasicTokens:
