@@ -63,6 +63,14 @@ def test_engine_throughput_serial_vs_parallel(benchmark, kb, converter, capsys):
                 title="engine per-rule time (summed over workers)",
             )
         )
+        print()
+        print(
+            format_table(
+                ["stage", "count", "p50 ms", "p95 ms", "p99 ms"],
+                result.stats.stage_quantile_rows(),
+                title="engine per-stage latency quantiles (merged digests)",
+            )
+        )
 
     # Differential guarantee holds at benchmark scale too.
     assert result.xml_documents == serial_xml

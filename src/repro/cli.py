@@ -9,6 +9,8 @@ Subcommands mirror the pipeline stages::
               --trace-out trace.jsonl --metrics-out m.prom   # parallel engine
     repro-web discover     xml/*.xml --sup 0.4               # schema + DTD
     repro-web stats        metrics.json                      # re-render metrics
+    repro-web report       runs.jsonl                        # render a run record
+    repro-web runs         runs.jsonl --check                # ledger + regressions
     repro-web validate-obs --trace trace.jsonl --metrics m.prom
     repro-web evaluate     --docs 50                         # Figure 4 numbers
     repro-web crawl        --resumes 30 --noise 100          # simulated crawl
@@ -34,9 +36,14 @@ from repro.evaluation.report import format_histogram, format_table
 from repro.htmlparse.parser import parse_fragment
 from repro.obs import (
     MetricsRegistry,
+    ProgressReporter,
     ProvenanceLog,
+    RunLedger,
     Tracer,
+    build_run_record,
+    config_fingerprint,
     load_metrics,
+    write_chrome_trace,
     write_metrics,
     write_trace_jsonl,
 )
@@ -120,15 +127,25 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
             quarantine_dir=args.quarantine_dir,
         ),
     )
-    tracing = bool(args.trace_out)
+    tracing = bool(args.trace_out or args.trace_chrome)
     tracer = Tracer() if tracing else None
     provenance = ProvenanceLog() if tracing else None
+    # --progress forces the live line on (CI logs), --quiet forces it
+    # off; by default it follows whether stderr is a terminal.
+    progress_enabled = True if args.progress else (False if args.quiet else None)
+    reporter = ProgressReporter(total=len(sources), enabled=progress_enabled)
     run = engine.run(sources, sup_threshold=args.sup, ratio_threshold=args.ratio,
-                     discover=args.discover, tracer=tracer, provenance=provenance)
+                     discover=args.discover, tracer=tracer, provenance=provenance,
+                     progress=reporter)
     result = run.corpus
-    if tracer is not None:
+    reporter.finish(result.stats)
+    if tracer is not None and args.trace_out:
         lines = write_trace_jsonl(args.trace_out, tracer, provenance)
         print(f"wrote {lines} trace records to {args.trace_out}")
+    if tracer is not None and args.trace_chrome:
+        spans = list(tracer.iter_dicts())
+        write_chrome_trace(args.trace_chrome, spans)
+        print(f"wrote Chrome trace ({len(spans)} spans) to {args.trace_chrome}")
     for target_name in args.metrics_out or []:
         write_metrics(result.stats.registry, target_name)
         print(f"wrote metrics to {target_name}")
@@ -170,6 +187,33 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
         print()
         print(format_table(["rule", "seconds", "share"], stats.rule_rows(),
                            title="Per-rule time (summed over workers)"))
+    quantile_rows = stats.stage_quantile_rows()
+    if quantile_rows:
+        print()
+        print(format_table(
+            ["stage", "count", "p50 ms", "p95 ms", "p99 ms"], quantile_rows,
+            title="Per-stage latency quantiles",
+        ))
+    slowest = stats.slowest_rows()
+    if slowest:
+        print()
+        print(format_table(
+            ["document", "ms", "label paths", "input nodes"], slowest,
+            title=f"Slowest documents (top {len(slowest)})",
+        ))
+    if args.runlog:
+        ledger = RunLedger(args.runlog)
+        record = ledger.append(
+            build_run_record(
+                stats,
+                fingerprint=config_fingerprint(
+                    engine.config, engine.engine_config
+                ),
+                topic="resume",
+                corpus_size=len(sources),
+            )
+        )
+        print(f"appended run {record['run_id']} to {args.runlog}")
     if run.discovery is not None:
         print()
         print(run.discovery.schema.describe())
@@ -290,14 +334,178 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print(format_table(["rule", "seconds", "share"], stats.rule_rows(),
                            title="Per-rule time (summed over workers)"))
+    p50, p95 = stats.chunk_seconds_quantile(0.5), stats.chunk_seconds_quantile(0.95)
+    if p95 > 0:
+        print()
+        print(format_table(
+            ["p50 s", "p95 s"], [[f"{p50:.3f}", f"{p95:.3f}"]],
+            title="Chunk duration quantiles (histogram estimate)",
+        ))
+    return 0
+
+
+def _quantile_rows_from_record(record: dict) -> list[list[str]]:
+    from repro.runtime.stats import STAGE_ORDER
+
+    stages = record.get("stage_quantiles") or {}
+    ordered = [stage for stage in STAGE_ORDER if stage in stages]
+    ordered += sorted(stage for stage in stages if stage not in STAGE_ORDER)
+    rows = []
+    for stage in ordered:
+        summary = stages[stage]
+        rows.append([
+            stage,
+            str(summary.get("count", "")),
+            f"{float(summary.get('p50', 0.0)) * 1e3:.2f}",
+            f"{float(summary.get('p95', 0.0)) * 1e3:.2f}",
+            f"{float(summary.get('p99', 0.0)) * 1e3:.2f}",
+        ])
+    return rows
+
+
+def _render_run_record(record: dict) -> None:
+    """Print one ledger record as report tables."""
+    summary = [
+        ["run id", record.get("run_id", "?")],
+        ["time", record.get("time_iso", "?")],
+        ["topic", record.get("topic", "")],
+        ["config", record.get("config_fingerprint", "")],
+        ["workers", record.get("workers", "")],
+        ["chunk size", record.get("chunk_size", "")],
+        ["corpus size", record.get("corpus_size", "")],
+        ["documents", record.get("documents", "")],
+        ["failed", record.get("documents_failed", "")],
+        ["wall seconds", record.get("wall_seconds", "")],
+        ["docs/second", record.get("docs_per_second", "")],
+        ["pool rebuilds", record.get("pool_rebuilds", "")],
+        ["cache hit rate", (record.get("cache") or {}).get("hit_rate", "")],
+    ]
+    print(format_table(["run", "value"], [[k, str(v)] for k, v in summary],
+                       title="Run report"))
+    failures = record.get("failures_by_stage") or {}
+    if failures:
+        print()
+        print(format_table(
+            ["stage", "failures"],
+            [[stage, str(count)] for stage, count in failures.items()],
+            title="Failures by stage",
+        ))
+    quantile_rows = _quantile_rows_from_record(record)
+    if quantile_rows:
+        print()
+        print(format_table(
+            ["stage", "count", "p50 ms", "p95 ms", "p99 ms"], quantile_rows,
+            title="Per-stage latency quantiles",
+        ))
+    slowest = record.get("slowest_documents") or []
+    if slowest:
+        print()
+        print(format_table(
+            ["document", "ms", "label paths", "input nodes"],
+            [
+                [
+                    str(entry.get("doc", "?")),
+                    f"{float(entry.get('seconds', 0.0)) * 1e3:.2f}",
+                    str(entry.get("label_paths", "")),
+                    str(entry.get("input_nodes", "")),
+                ]
+                for entry in slowest
+            ],
+            title=f"Slowest documents (top {len(slowest)})",
+        ))
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger)
+    record = ledger.find(args.run) if args.run else ledger.latest()
+    if record is None:
+        which = f"run {args.run!r}" if args.run else "any run record"
+        print(f"{args.ledger}: no {which} found", file=sys.stderr)
+        return 1
+    _render_run_record(record)
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import bench_regressions, detect_history_regressions
+
+    # Benchmark mode: diff two benchmark JSON documents.
+    if args.bench_current or args.bench_baseline:
+        if not (args.bench_current and args.bench_baseline):
+            print("runs needs both --bench-current and --bench-baseline",
+                  file=sys.stderr)
+            return 2
+        current = _json.loads(Path(args.bench_current).read_text())
+        baseline = _json.loads(Path(args.bench_baseline).read_text())
+        regressions = bench_regressions(
+            current, baseline, threshold=args.threshold
+        )
+        for regression in regressions:
+            print(f"REGRESSION: {regression.message}", file=sys.stderr)
+        if regressions:
+            print(f"{len(regressions)} benchmark regression(s) beyond "
+                  f"{args.threshold:.0%}", file=sys.stderr)
+            return 1 if args.check else 0
+        print(f"no benchmark regressions beyond {args.threshold:.0%} "
+              f"({args.bench_current} vs {args.bench_baseline})")
+        return 0
+
+    # Ledger mode: list runs, then diff the latest against its history.
+    if not args.ledger:
+        print("runs needs a ledger path (or --bench-current/--bench-baseline)",
+              file=sys.stderr)
+        return 2
+    ledger = RunLedger(args.ledger)
+    records = ledger.records()
+    if not records:
+        print(f"{args.ledger}: no run records", file=sys.stderr)
+        return 1
+    rows = [
+        [
+            record.get("run_id", "?"),
+            record.get("time_iso", "?"),
+            str(record.get("workers", "")),
+            str(record.get("documents", "")),
+            str(record.get("documents_failed", "")),
+            str(record.get("docs_per_second", "")),
+        ]
+        for record in records[-args.limit:]
+    ]
+    print(format_table(
+        ["run id", "time", "workers", "docs", "failed", "docs/s"], rows,
+        title=f"Run ledger ({len(records)} records, {args.ledger})",
+    ))
+    baseline, regressions = detect_history_regressions(
+        records, threshold=args.threshold
+    )
+    print()
+    if baseline is None:
+        print("no comparable history for the latest run "
+              "(need earlier records with the same config and workers)")
+        return 0
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression.message}", file=sys.stderr)
+        print(f"{len(regressions)} regression(s) vs {baseline['run_id']} "
+              f"beyond {args.threshold:.0%}", file=sys.stderr)
+        return 1 if args.check else 0
+    print(f"latest run within {args.threshold:.0%} of {baseline['run_id']}")
     return 0
 
 
 def _cmd_validate_obs(args: argparse.Namespace) -> int:
-    from repro.obs.validate import validate_metrics_file, validate_trace_file
+    from repro.obs.chrometrace import validate_chrome_trace_file
+    from repro.obs.validate import (
+        validate_metrics_file,
+        validate_runlog_file,
+        validate_trace_file,
+    )
 
-    if not args.trace and not args.metrics:
-        print("validate-obs needs --trace and/or --metrics", file=sys.stderr)
+    if not (args.trace or args.metrics or args.chrome or args.runlog):
+        print("validate-obs needs --trace, --metrics, --chrome and/or --runlog",
+              file=sys.stderr)
         return 2
     errors: list[str] = []
     if args.trace:
@@ -310,6 +518,16 @@ def _cmd_validate_obs(args: argparse.Namespace) -> int:
     for metrics in args.metrics or []:
         errors.extend(
             f"{metrics}: {error}" for error in validate_metrics_file(metrics)
+        )
+    if args.chrome:
+        errors.extend(
+            f"{args.chrome}: {error}"
+            for error in validate_chrome_trace_file(args.chrome)
+        )
+    if args.runlog:
+        errors.extend(
+            f"{args.runlog}: {error}"
+            for error in validate_runlog_file(args.runlog)
         )
     for error in errors:
         print(error, file=sys.stderr)
@@ -449,6 +667,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="record spans + provenance events and write them as JSONL",
     )
     engine.add_argument(
+        "--trace-chrome",
+        default="",
+        metavar="PATH",
+        help="also export the span tree as Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing; worker spans re-based "
+        "onto the parent timeline)",
+    )
+    engine.add_argument(
+        "--runlog",
+        default="",
+        metavar="PATH",
+        help="append one run record (quantiles, throughput, failures, "
+        "slowest documents) to this JSONL ledger; see 'report'/'runs'",
+    )
+    engine.add_argument(
+        "--progress",
+        action="store_true",
+        help="force the live progress/ETA line on stderr even off-TTY "
+        "(default: auto-enabled only on a terminal)",
+    )
+    engine.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live progress line even on a terminal",
+    )
+    engine.add_argument(
         "--metrics-out",
         action="append",
         metavar="PATH",
@@ -543,11 +787,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="metrics file to validate (.prom/.txt exposition or JSON; repeatable)",
     )
     vobs.add_argument(
+        "--chrome",
+        default="",
+        metavar="PATH",
+        help="Chrome trace-event JSON (--trace-chrome output) to validate",
+    )
+    vobs.add_argument(
+        "--runlog",
+        default="",
+        metavar="PATH",
+        help="run-ledger JSONL (--runlog output) to validate",
+    )
+    vobs.add_argument(
         "--require-coverage",
         action="store_true",
         help="also require every schema-listed span name and event kind",
     )
     vobs.set_defaults(func=_cmd_validate_obs)
+
+    report = sub.add_parser(
+        "report", help="render one run-ledger record as report tables"
+    )
+    report.add_argument("ledger", help="run-ledger JSONL written by --runlog")
+    report.add_argument(
+        "--run", default="", metavar="RUN_ID",
+        help="render this run id (default: the latest record)",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    runs = sub.add_parser(
+        "runs",
+        help="list the run ledger and flag regressions (or diff benchmark JSONs)",
+    )
+    runs.add_argument(
+        "ledger", nargs="?", default="",
+        help="run-ledger JSONL written by --runlog",
+    )
+    runs.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="relative change that counts as a regression (default 0.2)",
+    )
+    runs.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when a regression is flagged (CI gate)",
+    )
+    runs.add_argument(
+        "--limit", type=int, default=20,
+        help="show at most this many most-recent ledger rows",
+    )
+    runs.add_argument(
+        "--bench-current", default="", metavar="PATH",
+        help="benchmark JSON to check (with --bench-baseline; skips the ledger)",
+    )
+    runs.add_argument(
+        "--bench-baseline", default="", metavar="PATH",
+        help="committed benchmark baseline JSON (e.g. BENCH_engine.json)",
+    )
+    runs.set_defaults(func=_cmd_runs)
 
     ev = sub.add_parser("evaluate", help="run the Figure 4 accuracy experiment")
     ev.add_argument("--docs", type=int, default=50)

@@ -14,12 +14,31 @@ cost, thread through the conversion/discovery pipeline:
   vs. Bayes posterior vs. unlabeled, with confidence), keyed by doc id
   and node label path.
 
+The run-intelligence layer builds on them:
+
+* :mod:`repro.obs.quantiles` -- :class:`QuantileDigest`, a mergeable
+  (monoid) log-bucket latency digest shipped per chunk and merged
+  parent-side, yielding per-stage and per-document p50/p95/p99.
+* :mod:`repro.obs.runlog` -- the persistent append-only run ledger
+  (:class:`RunLedger`) plus the regression detector shared by
+  ``repro-web runs`` and the benchmark CI gate.
+* :mod:`repro.obs.progress` -- :class:`ProgressReporter`, rate-limited
+  live progress/ETA on stderr, auto-disabled off-TTY.
+* :mod:`repro.obs.chrometrace` -- span-tree export to Chrome
+  trace-event JSON (Perfetto/chrome://tracing), with cross-process
+  worker spans re-based onto the parent timeline.
+
 :mod:`repro.obs.validate` checks emitted artifacts against the
-checked-in ``trace_schema.json`` (used by CI and
-``repro-web validate-obs``); :mod:`repro.obs.export` holds the file
+checked-in ``trace_schema.json`` / ``runlog_schema.json`` (used by CI
+and ``repro-web validate-obs``); :mod:`repro.obs.export` holds the file
 writers/loaders.
 """
 
+from repro.obs.chrometrace import (
+    spans_to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.export import load_metrics, write_metrics, write_trace_jsonl
 from repro.obs.metrics import (
     Counter,
@@ -28,7 +47,18 @@ from repro.obs.metrics import (
     MetricsRegistry,
     SECONDS_BUCKETS,
 )
+from repro.obs.progress import ProgressReporter
 from repro.obs.provenance import ProvenanceLog, node_label_path
+from repro.obs.quantiles import QuantileDigest, merge_digest_maps
+from repro.obs.runlog import (
+    Regression,
+    RunLedger,
+    bench_regressions,
+    build_run_record,
+    compare_records,
+    config_fingerprint,
+    detect_history_regressions,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, resolve_tracer
 
 __all__ = [
@@ -39,11 +69,24 @@ __all__ = [
     "SECONDS_BUCKETS",
     "ProvenanceLog",
     "node_label_path",
+    "ProgressReporter",
+    "QuantileDigest",
+    "merge_digest_maps",
+    "Regression",
+    "RunLedger",
+    "bench_regressions",
+    "build_run_record",
+    "compare_records",
+    "config_fingerprint",
+    "detect_history_regressions",
     "Span",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
     "resolve_tracer",
+    "spans_to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "write_trace_jsonl",
     "write_metrics",
     "load_metrics",

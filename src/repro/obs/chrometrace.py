@@ -1,0 +1,260 @@
+"""Chrome trace-event export of the span tree.
+
+:func:`spans_to_chrome_trace` turns the tracer's span dicts (the same
+records ``--trace-out`` writes as JSONL) into the Trace Event Format
+that ``chrome://tracing`` and Perfetto load: one complete (``"X"``)
+event per span, timestamps in microseconds, plus ``thread_name``
+metadata events naming each track.
+
+**Cross-process re-basing.**  Span clocks are per-process
+``time.perf_counter`` readings: durations are always meaningful, but
+absolute ``start`` values only agree within one process.  Spans adopted
+from a worker chunk carry namespaced ids (``c3.w7``; bisection pieces
+``c3.b16.w7``), so every span's *clock domain* is recoverable as the id
+prefix up to the last ``.`` (empty for the parent process).  Each domain
+becomes its own track (``tid``), and its timestamps are re-based onto
+the parent timeline by aligning the domain's earliest span start with
+the start of the span its roots were re-parented under -- the chunk
+visibly nests inside ``engine.convert_corpus`` without pretending we
+know exactly when the worker ran.
+
+:func:`validate_chrome_trace` is the dependency-free checker CI and
+``repro-web validate-obs --chrome`` run over emitted files: valid
+trace-event JSON, required fields per phase, non-negative durations,
+matched ``B``/``E`` pairs, and per-track events that strictly nest (no
+partial overlap) -- the invariants Perfetto's importer relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+_US = 1e6  # seconds -> microseconds
+
+
+def _domain_of(span_id: str) -> str:
+    """The clock domain of a span id: everything before the last dot."""
+    dot = span_id.rfind(".")
+    return span_id[:dot] if dot >= 0 else ""
+
+
+def spans_to_chrome_trace(
+    span_dicts: Sequence[Mapping],
+    *,
+    pid: int = 1,
+    process_name: str = "repro-web",
+) -> dict:
+    """Convert exported span dicts into a Chrome trace-event document."""
+    spans = [dict(span) for span in span_dicts]
+    by_id = {span["id"]: span for span in spans}
+
+    # Group spans into clock domains and find each domain's time base.
+    domains: dict[str, list[dict]] = {}
+    for span in spans:
+        domains.setdefault(_domain_of(span["id"]), []).append(span)
+    starts = {
+        domain: min(span["start"] for span in members)
+        for domain, members in domains.items()
+    }
+
+    # The parent domain anchors the timeline at zero; every other domain
+    # is shifted so its first span starts where its re-parent target
+    # (a span of an already-placed domain) starts.  Domains are placed
+    # shortest-prefix first, so bisection domains (c3.b16) resolve
+    # against their chunk domain (c3) if that is where their roots hang.
+    offsets: dict[str, float] = {}
+    for domain in sorted(domains, key=lambda name: (name.count("."), name)):
+        if domain == "":
+            offsets[domain] = -starts.get("", 0.0)
+            continue
+        anchor = 0.0
+        for span in domains[domain]:
+            parent_id = span.get("parent")
+            if parent_id is None:
+                continue
+            parent = by_id.get(parent_id)
+            if parent is None:
+                continue
+            parent_domain = _domain_of(parent["id"])
+            if parent_domain != domain and parent_domain in offsets:
+                anchor = parent["start"] + offsets[parent_domain]
+                break
+        offsets[domain] = anchor - starts[domain]
+
+    # Deterministic integer tids: the parent domain is tid 0, adopted
+    # domains follow in sorted order.
+    ordered = sorted(domains, key=lambda name: (name != "", name))
+    tids = {domain: tid for tid, domain in enumerate(ordered)}
+
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for domain in ordered:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tids[domain],
+                "args": {"name": domain if domain else "main"},
+            }
+        )
+    for domain in ordered:
+        offset = offsets[domain]
+        tid = tids[domain]
+        # Stable ordering: by re-based start, longest span first on ties
+        # so parents precede children in the event list.
+        members = sorted(
+            domains[domain],
+            key=lambda span: (span["start"], -(span["end"] - span["start"])),
+        )
+        for span in members:
+            ts = round((span["start"] + offset) * _US, 3)
+            dur = round(max(0.0, span["end"] - span["start"]) * _US, 3)
+            args = {"id": span["id"]}
+            if span.get("parent") is not None:
+                args["parent"] = span["parent"]
+            for key, value in sorted(span.get("attrs", {}).items()):
+                if isinstance(value, (str, int, float, bool)) or value is None:
+                    args[key] = value
+            events.append(
+                {
+                    "name": span["name"],
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": dur,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": process_name, "spans": len(spans)},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    span_dicts: Sequence[Mapping],
+    *,
+    pid: int = 1,
+    process_name: str = "repro-web",
+) -> Path:
+    """Write a Chrome trace-event JSON file (parents created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = spans_to_chrome_trace(
+        span_dicts, pid=pid, process_name=process_name
+    )
+    target.write_text(json.dumps(document, sort_keys=True))
+    return target
+
+
+# -- validation ---------------------------------------------------------------
+
+_PHASES = {"X", "B", "E", "M", "i", "C"}
+
+
+def validate_chrome_trace(document: object) -> list[str]:
+    """Errors in a parsed trace-event document (empty list = valid).
+
+    Checks the invariants the acceptance bar names: well-formed
+    trace-event JSON (an object with a ``traceEvents`` list, or a bare
+    list), required fields per event, non-negative ``X`` durations,
+    matched ``B``/``E`` pairs per track, and per-track ``X`` events that
+    nest strictly (two events on one track are either disjoint or one
+    contains the other) with monotone begin timestamps.
+    """
+    errors: list[str] = []
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["traceEvents is missing or not a list"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return ["trace document is neither an object nor a list"]
+
+    tracks: dict[tuple, list[tuple[float, float]]] = {}
+    open_b: dict[tuple, list[float]] = {}
+    for number, event in enumerate(events):
+        where = f"event {number}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing name")
+        if "pid" not in event or "tid" not in event:
+            errors.append(f"{where}: missing pid/tid")
+            continue
+        track = (event["pid"], event["tid"])
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            errors.append(f"{where}: missing numeric ts")
+            continue
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                errors.append(f"{where}: X event missing numeric dur")
+                continue
+            if dur < 0:
+                errors.append(f"{where}: negative duration {dur}")
+                continue
+            tracks.setdefault(track, []).append((float(ts), float(ts) + float(dur)))
+        elif phase == "B":
+            open_b.setdefault(track, []).append(float(ts))
+        elif phase == "E":
+            stack = open_b.get(track)
+            if not stack:
+                errors.append(f"{where}: E without matching B on track {track}")
+                continue
+            begin = stack.pop()
+            if float(ts) < begin:
+                errors.append(
+                    f"{where}: E at {ts} precedes its B at {begin} on {track}"
+                )
+    for track, stack in open_b.items():
+        for begin in stack:
+            errors.append(f"unmatched B at {begin} on track {track}")
+
+    # Per-track X events must strictly nest.  Sweep in start order
+    # (longest first on ties) with a stack of open intervals: an event
+    # starting inside an open interval must also end inside it.
+    for track, intervals in tracks.items():
+        stack: list[float] = []
+        for start, end in sorted(intervals, key=lambda pair: (pair[0], -pair[1])):
+            while stack and stack[-1] <= start:
+                stack.pop()
+            if stack and end > stack[-1]:
+                errors.append(
+                    f"track {track}: event [{start}, {end}] partially "
+                    f"overlaps an open event ending at {stack[-1]}"
+                )
+                continue
+            stack.append(end)
+    return errors
+
+
+def validate_chrome_trace_file(path: str | Path) -> list[str]:
+    """Validate a trace-event JSON file on disk."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read trace-event JSON: {exc}"]
+    return validate_chrome_trace(document)

@@ -24,8 +24,14 @@ def write_trace_jsonl(
     tracer: "Tracer | NullTracer | None" = None,
     provenance: ProvenanceLog | None = None,
 ) -> int:
-    """Write spans then provenance events as JSONL; returns line count."""
+    """Write spans then provenance events as JSONL; returns line count.
+
+    Parent directories are created, so CLI-supplied nested paths
+    (``--trace-out runs/today/trace.jsonl``) work without a manual
+    ``mkdir``.
+    """
     target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
     written = 0
     with target.open("w") as handle:
         if tracer is not None:
@@ -40,8 +46,12 @@ def write_trace_jsonl(
 
 
 def write_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
-    """Write a registry snapshot, format chosen by file extension."""
+    """Write a registry snapshot, format chosen by file extension.
+
+    Parent directories are created (nested ``--metrics-out`` paths).
+    """
     target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
     if target.suffix in PROMETHEUS_SUFFIXES:
         target.write_text(registry.render_prometheus())
     else:

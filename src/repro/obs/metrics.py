@@ -88,14 +88,30 @@ class Counter(Metric):
         self.value += amount
 
 
+GAUGE_MERGE_MODES = ("last", "max", "min", "sum")
+
+
 class Gauge(Metric):
-    """A value that can go up and down (set wins over arithmetic)."""
+    """A value that can go up and down (set wins over arithmetic).
+
+    ``merge_mode`` is the cross-registry aggregation hint consulted by
+    :meth:`MetricsRegistry.merge`: ``"last"`` (the historical
+    last-writer-wins), ``"max"``/``"min"`` for high/low-water marks that
+    must survive merging chunk-worker registries, or ``"sum"``.
+    Without it, a per-worker high-water mark like queue depth would be
+    silently understated by whichever worker merged last.
+    """
 
     kind = "gauge"
 
-    def __init__(self, name: str, labels: LabelSet) -> None:
+    def __init__(
+        self, name: str, labels: LabelSet, merge_mode: str = "last"
+    ) -> None:
         super().__init__(name, labels)
+        if merge_mode not in GAUGE_MERGE_MODES:
+            raise ValueError(f"unknown gauge merge mode {merge_mode!r}")
         self.value: float = 0.0
+        self.merge_mode = merge_mode
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -145,6 +161,30 @@ class Histogram(Metric):
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile by linear interpolation within the
+        containing bucket (Prometheus ``histogram_quantile`` semantics:
+        the first bucket interpolates from 0; ranks landing in the
+        ``+Inf`` bucket return the largest finite bound).  Returns 0.0
+        for an empty histogram."""
+        if self.count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        rank = q * self.count
+        cumulative = 0
+        for index, count in enumerate(self.bucket_counts):
+            if count == 0:
+                continue
+            if rank <= cumulative + count:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                low = self.bounds[index - 1] if index > 0 else 0.0
+                high = self.bounds[index]
+                fraction = (rank - cumulative) / count
+                return low + (high - low) * min(1.0, max(0.0, fraction))
+            cumulative += count
+        return self.bounds[-1]
+
 
 class MetricsRegistry:
     """A mutable collection of metrics, mergeable and exportable."""
@@ -168,8 +208,20 @@ class MetricsRegistry:
     def counter(self, name: str, **labels: str) -> Counter:
         return self._get_or_create(Counter, name, _labelset(labels))
 
-    def gauge(self, name: str, **labels: str) -> Gauge:
-        return self._get_or_create(Gauge, name, _labelset(labels))
+    def gauge(self, name: str, *, merge: str | None = None, **labels: str) -> Gauge:
+        """A gauge; ``merge`` sets its cross-registry aggregation mode
+        (``"last"``/``"max"``/``"min"``/``"sum"``) on first registration
+        and must agree on re-registration (``None`` = don't care)."""
+        metric = self._get_or_create(
+            Gauge, name, _labelset(labels), merge if merge is not None else "last"
+        )
+        assert isinstance(metric, Gauge)
+        if merge is not None and metric.merge_mode != merge:
+            raise ValueError(
+                f"gauge {name!r} already registered with merge mode "
+                f"{metric.merge_mode!r}, not {merge!r}"
+            )
+        return metric
 
     def histogram(
         self,
@@ -209,17 +261,32 @@ class MetricsRegistry:
     # -- merging -------------------------------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry in: counters and histogram buckets add,
-        gauges take the other side's value (last writer wins)."""
+        """Fold another registry in: counters and histogram buckets add;
+        gauges aggregate per their ``merge_mode`` (``"last"`` -- the
+        historical last-writer-wins default -- ``"max"``, ``"min"``, or
+        ``"sum"``), so high-water marks merged from chunk workers keep
+        the corpus-wide extreme instead of the last worker's value."""
         for metric in other:
             if isinstance(metric, Counter):
                 self._get_or_create(Counter, metric.name, metric.labels).inc(
                     metric.value
                 )
             elif isinstance(metric, Gauge):
-                self._get_or_create(Gauge, metric.name, metric.labels).set(
-                    metric.value
+                fresh = (metric.name, metric.labels) not in self._metrics
+                held = self._get_or_create(
+                    Gauge, metric.name, metric.labels, metric.merge_mode
                 )
+                assert isinstance(held, Gauge)
+                mode = held.merge_mode
+                if fresh or mode == "last":
+                    held.set(metric.value)
+                elif mode == "max":
+                    held.max(metric.value)
+                elif mode == "min":
+                    if metric.value < held.value:
+                        held.set(metric.value)
+                else:  # sum
+                    held.inc(metric.value)
             elif isinstance(metric, Histogram):
                 held = self._get_or_create(
                     Histogram, metric.name, metric.labels, metric.bounds
@@ -252,6 +319,8 @@ class MetricsRegistry:
                 entry["count"] = metric.count
             else:
                 entry["value"] = metric.value  # type: ignore[union-attr]
+                if isinstance(metric, Gauge) and metric.merge_mode != "last":
+                    entry["merge"] = metric.merge_mode
             metrics.append(entry)
         return {"metrics": metrics}
 
@@ -265,7 +334,9 @@ class MetricsRegistry:
             if kind == "counter":
                 registry.counter(entry["name"], **labels).inc(entry["value"])
             elif kind == "gauge":
-                registry.gauge(entry["name"], **labels).set(entry["value"])
+                registry.gauge(
+                    entry["name"], merge=entry.get("merge"), **labels
+                ).set(entry["value"])
             elif kind == "histogram":
                 histogram = registry.histogram(
                     entry["name"], buckets=entry["buckets"], **labels

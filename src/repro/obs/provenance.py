@@ -120,8 +120,10 @@ class ProvenanceLog:
         return [event for event in self.events if event.get("kind") == kind]
 
     def write_jsonl(self, path: str | Path) -> int:
-        """Write one JSON object per line; returns the record count."""
+        """Write one JSON object per line; returns the record count.
+        Parent directories are created for nested output paths."""
         target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
         with target.open("w") as handle:
             for event in self.events:
                 handle.write(json.dumps(event, sort_keys=True) + "\n")

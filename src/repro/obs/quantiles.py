@@ -1,0 +1,343 @@
+"""Mergeable streaming quantile digests over log-spaced fixed buckets.
+
+:class:`QuantileDigest` answers "what were p50/p95/p99 of this latency"
+without retaining observations: values land in a fixed, *global* layout
+of log-spaced buckets, so any two digests built by this module merge by
+adding sparse bucket counts.  Like
+:class:`repro.schema.accumulator.PathAccumulator`, merging is a
+commutative monoid::
+
+    merge(a, b) == merge(b, a)                      (commutative)
+    merge(merge(a, b), c) == merge(a, merge(b, c))  (associative)
+    merge(a, QuantileDigest()) == a                 (identity)
+
+Bucket counts and extrema are exact integers/comparisons, so the laws
+hold exactly for everything :meth:`quantile` reads; only ``total`` (the
+running sum) is a float whose re-associated additions round in the usual
+IEEE way.  That is what lets the engine ship one digest per chunk in
+:class:`~repro.runtime.stats.ChunkStats` and merge parent-side: the
+merged digest's quantiles are *identical* to a serial run's digest over
+the same per-document values, regardless of chunking or worker count.
+
+**Resolution.**  With ``buckets_per_decade = 16`` adjacent bucket bounds
+differ by ``10 ** (1/16)`` (~15.5%); quantiles interpolate in log space
+inside one bucket and are clamped to the observed min/max.  The
+estimate always lands in the same bucket as the true order statistic,
+so it is within one bucket width (~16%) of it in the worst case --
+typically about half that, since interpolation centers mid-bucket.  The layout spans ``lo = 1e-6`` seconds to ``1e6`` seconds
+(12 decades, 192 buckets); values at or below ``lo`` (including zero --
+sub-resolution timer readings) fall into the first bucket, values beyond
+the top into the last, and both stay honest through the exact min/max.
+"""
+
+from __future__ import annotations
+
+from math import floor, log10
+from typing import Iterable, Mapping
+
+# The one global bucket layout: every digest in the process (and every
+# digest crossing the process boundary) uses it, which is what makes
+# merge compatibility a non-event.  Kept as explicit constructor
+# defaults so tests can build coarser layouts and the merge-layout
+# guard stays honest.
+DEFAULT_LO = 1e-6
+DEFAULT_BUCKETS_PER_DECADE = 16
+DEFAULT_DECADES = 12
+
+# Quantiles every report/ledger surface renders.
+REPORT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class QuantileDigest:
+    """A sparse, mergeable, fixed-layout log-bucket latency digest."""
+
+    __slots__ = (
+        "lo",
+        "buckets_per_decade",
+        "decades",
+        "counts",
+        "count",
+        "total",
+        "min_value",
+        "max_value",
+    )
+
+    def __init__(
+        self,
+        *,
+        lo: float = DEFAULT_LO,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+        decades: int = DEFAULT_DECADES,
+    ) -> None:
+        if lo <= 0:
+            raise ValueError("lo must be positive")
+        if buckets_per_decade < 1 or decades < 1:
+            raise ValueError("need at least one bucket per decade and one decade")
+        self.lo = float(lo)
+        self.buckets_per_decade = int(buckets_per_decade)
+        self.decades = int(decades)
+        # Sparse: bucket index -> observation count.  Most stages hit a
+        # handful of adjacent buckets, so the wire form stays tiny.
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min_value = 0.0
+        self.max_value = 0.0
+
+    # -- layout ---------------------------------------------------------------
+
+    @property
+    def bucket_count(self) -> int:
+        return self.buckets_per_decade * self.decades
+
+    def layout(self) -> tuple[float, int, int]:
+        return (self.lo, self.buckets_per_decade, self.decades)
+
+    def bucket_index(self, value: float) -> int:
+        """The (clamped) bucket a value falls into."""
+        if value <= self.lo:
+            return 0
+        index = int(floor(log10(value / self.lo) * self.buckets_per_decade))
+        if index < 0:
+            return 0
+        last = self.bucket_count - 1
+        return index if index < last else last
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """``(low, high]`` value bounds of one bucket (bucket 0's low
+        bound is 0: it also holds sub-``lo`` and zero observations)."""
+        step = 10.0 ** (1.0 / self.buckets_per_decade)
+        high = self.lo * step ** (index + 1)
+        low = 0.0 if index == 0 else self.lo * step**index
+        return (low, high)
+
+    @property
+    def relative_error(self) -> float:
+        """Documented worst-case relative quantile error (one bucket).
+
+        :meth:`quantile` returns a value inside the bucket holding the
+        true order statistic, so the two differ by at most the bucket's
+        high/low ratio -- a full bucket width, reached when rank
+        interpolation sits at one bucket edge while the true value sits
+        at the other.  The typical error is about half this.
+        """
+        return 10.0 ** (1.0 / self.buckets_per_decade) - 1.0
+
+    # -- observation ----------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0.0:
+            value = 0.0
+        index = self.bucket_index(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        if self.count == 0:
+            self.min_value = value
+            self.max_value = value
+        else:
+            if value < self.min_value:
+                self.min_value = value
+            if value > self.max_value:
+                self.max_value = value
+        self.count += 1
+        self.total += value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    # -- monoid ---------------------------------------------------------------
+
+    def update(self, other: "QuantileDigest") -> None:
+        """In-place merge (the engine's parent-side hot path)."""
+        if other.layout() != self.layout():
+            raise ValueError(
+                f"digest layout mismatch: {self.layout()} vs {other.layout()}"
+            )
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+        else:
+            if other.min_value < self.min_value:
+                self.min_value = other.min_value
+            if other.max_value > self.max_value:
+                self.max_value = other.max_value
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+
+    def merge(self, other: "QuantileDigest") -> "QuantileDigest":
+        """Pure merge: a new digest, neither operand mutated."""
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    def copy(self) -> "QuantileDigest":
+        clone = QuantileDigest(
+            lo=self.lo,
+            buckets_per_decade=self.buckets_per_decade,
+            decades=self.decades,
+        )
+        clone.counts = dict(self.counts)
+        clone.count = self.count
+        clone.total = self.total
+        clone.min_value = self.min_value
+        clone.max_value = self.max_value
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileDigest):
+            return NotImplemented
+        return (
+            self.layout() == other.layout()
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.total == other.total
+            and self.min_value == other.min_value
+            and self.max_value == other.max_value
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QuantileDigest(count={self.count}, "
+            f"p50={self.quantile(0.5):.6f}, p95={self.quantile(0.95):.6f})"
+        )
+
+    # -- quantiles ------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the observed values.
+
+        Reads only bucket counts and the exact min/max, so serial and
+        merged digests over the same observations answer identically.
+        Returns 0.0 for an empty digest.
+        """
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min_value
+        if q >= 1.0:
+            return self.max_value
+        rank = q * (self.count - 1)
+        cumulative = 0
+        for index in sorted(self.counts):
+            bucket = self.counts[index]
+            if rank < cumulative + bucket:
+                low, high = self.bucket_bounds(index)
+                fraction = (rank - cumulative + 0.5) / bucket
+                fraction = min(1.0, max(0.0, fraction))
+                if low <= 0.0:
+                    value = high * fraction
+                else:
+                    value = low * (high / low) ** fraction
+                return min(self.max_value, max(self.min_value, value))
+            cumulative += bucket
+        return self.max_value
+
+    def quantiles(self, qs: Iterable[float] = REPORT_QUANTILES) -> list[float]:
+        return [self.quantile(q) for q in qs]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """The JSON-ready quantile summary the run ledger persists."""
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": round(self.min_value, 9),
+            "max": round(self.max_value, 9),
+            "p50": round(self.quantile(0.5), 9),
+            "p95": round(self.quantile(0.95), 9),
+            "p99": round(self.quantile(0.99), 9),
+        }
+
+    # -- serialization --------------------------------------------------------
+    #
+    # One compact tuple serves both pickle (the ChunkStats wire format
+    # crossing the engine's process boundary) and JSON; sparse counts
+    # travel as parallel (indices, counts) lists.
+
+    def __getstate__(self) -> tuple:
+        indices = sorted(self.counts)
+        return (
+            self.lo,
+            self.buckets_per_decade,
+            self.decades,
+            indices,
+            [self.counts[index] for index in indices],
+            self.count,
+            self.total,
+            self.min_value,
+            self.max_value,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            lo,
+            buckets_per_decade,
+            decades,
+            indices,
+            counts,
+            count,
+            total,
+            min_value,
+            max_value,
+        ) = state
+        self.lo = lo
+        self.buckets_per_decade = buckets_per_decade
+        self.decades = decades
+        self.counts = dict(zip(indices, counts))
+        self.count = count
+        self.total = total
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def to_json(self) -> dict:
+        return {
+            "lo": self.lo,
+            "buckets_per_decade": self.buckets_per_decade,
+            "decades": self.decades,
+            "indices": sorted(self.counts),
+            "counts": [self.counts[index] for index in sorted(self.counts)],
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "QuantileDigest":
+        digest = cls(
+            lo=data.get("lo", DEFAULT_LO),
+            buckets_per_decade=data.get(
+                "buckets_per_decade", DEFAULT_BUCKETS_PER_DECADE
+            ),
+            decades=data.get("decades", DEFAULT_DECADES),
+        )
+        digest.counts = {
+            int(index): int(count)
+            for index, count in zip(data.get("indices", []), data.get("counts", []))
+        }
+        digest.count = int(data.get("count", 0))
+        digest.total = float(data.get("total", 0.0))
+        digest.min_value = float(data.get("min", 0.0))
+        digest.max_value = float(data.get("max", 0.0))
+        return digest
+
+
+def merge_digest_maps(
+    held: dict[str, QuantileDigest], other: Mapping[str, QuantileDigest]
+) -> None:
+    """Fold a ``{stage: digest}`` map into another, in place -- the
+    parent-side merge of per-chunk stage digests."""
+    for stage, digest in other.items():
+        mine = held.get(stage)
+        if mine is None:
+            held[stage] = digest.copy()
+        else:
+            mine.update(digest)

@@ -29,12 +29,14 @@ from typing import Iterable
 from repro.obs.metrics import MetricsRegistry
 
 _SCHEMA_PATH = Path(__file__).with_name("trace_schema.json")
+_RUNLOG_SCHEMA_PATH = Path(__file__).with_name("runlog_schema.json")
 
 _TYPE_CHECKS = {
     "string": lambda v: isinstance(v, str),
     "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
     "boolean": lambda v: isinstance(v, bool),
     "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
     "null": lambda v: v is None,
 }
 
@@ -146,6 +148,46 @@ def validate_trace_file(
     return validate_trace_lines(
         text.splitlines(), schema=schema, require_coverage=require_coverage
     )
+
+
+# -- run ledger ---------------------------------------------------------------
+
+
+def load_runlog_schema(path: str | Path | None = None) -> dict:
+    """The checked-in run-ledger schema (or one loaded from ``path``)."""
+    return json.loads(Path(path or _RUNLOG_SCHEMA_PATH).read_text())
+
+
+def validate_runlog_lines(
+    lines: Iterable[str], *, schema: dict | None = None
+) -> list[str]:
+    """Validate run-ledger JSONL content line by line (same record
+    dialect as the trace schema; every record must be ``kind: "run"``)."""
+    schema = schema or load_runlog_schema()
+    errors: list[str] = []
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: invalid JSON ({exc})")
+            continue
+        errors.extend(validate_record(record, schema, where=f"line {number}"))
+    if count == 0:
+        errors.append("run ledger is empty")
+    return errors
+
+
+def validate_runlog_file(
+    path: str | Path, *, schema: dict | None = None
+) -> list[str]:
+    """Validate a ``--runlog`` ledger file."""
+    text = Path(path).read_text()
+    return validate_runlog_lines(text.splitlines(), schema=schema)
 
 
 # -- Prometheus text exposition ----------------------------------------------

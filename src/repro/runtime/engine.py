@@ -37,7 +37,7 @@ from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.concepts.bayes import MultinomialNaiveBayes
 from repro.concepts.fastmatch import cache_counter_delta
@@ -57,6 +57,7 @@ from repro.runtime.faults import (
 )
 from repro.runtime.stats import ChunkStats, EngineStats
 from repro.schema.accumulator import PathAccumulator
+from repro.schema.paths import extract_paths
 from repro.schema.dtd import DTD, derive_dtd
 from repro.schema.frequent import FrequentPathSet, mine_frequent_paths
 from repro.schema.majority import MajoritySchema
@@ -213,6 +214,7 @@ def _run_chunk(
     with tracer.span("engine.chunk", chunk=index, documents=len(sources)):
         for offset, source in enumerate(sources):
             doc_id = f"doc{base + offset:04d}"
+            doc_started = time.perf_counter()
             try:
                 result = converter.convert(
                     source, doc_id=doc_id, tracer=tracer, provenance=provenance
@@ -243,15 +245,32 @@ def _run_chunk(
                 continue
             xml.append(doc_xml)
             with tracer.span("discover.extract_paths", doc=doc_id):
-                accumulator.add_tree(result.root)
+                doc_paths = extract_paths(result.root)
+                accumulator.add(doc_paths)
+            concept_nodes = result.concept_node_count
             stats.documents += 1
             stats.tokens_created += result.tokens_created
             stats.groups_created += result.groups_created
             stats.nodes_eliminated += result.nodes_eliminated
             stats.input_nodes += result.input_nodes
-            stats.concept_nodes += result.concept_node_count
+            stats.concept_nodes += concept_nodes
             for rule, seconds in result.rule_seconds.items():
                 stats.rule_seconds[rule] = stats.rule_seconds.get(rule, 0.0) + seconds
+            # Run intelligence: per-stage + end-to-end latency into the
+            # chunk's mergeable digests, plus slowest-document context.
+            stats.observe_document(
+                doc_id,
+                base + offset,
+                time.perf_counter() - doc_started,
+                result.rule_seconds,
+                context={
+                    "root": result.root.tag,
+                    "label_paths": len(doc_paths.paths),
+                    "input_nodes": result.input_nodes,
+                    "concept_nodes": concept_nodes,
+                },
+            )
+    stats.finalize_slowest()
     stats.tagger_cache = cache_counter_delta(
         cache_before, converter.tagger_cache_counters()
     )
@@ -339,6 +358,7 @@ class CorpusEngine:
         stats: EngineStats | None = None,
         tracer: Tracer | NullTracer | None = None,
         provenance: ProvenanceLog | None = None,
+        progress: Callable[[EngineStats], None] | None = None,
     ) -> Iterator[ChunkPayload]:
         """Yield converted chunks **in document order**.
 
@@ -353,6 +373,10 @@ class CorpusEngine:
         merge loop re-parents the spans under this tracer's current span
         (namespaced by chunk index) and appends the events in document
         order -- the cross-process half of the span tree.
+
+        ``progress`` (e.g. a :class:`repro.obs.progress.ProgressReporter`)
+        is called with the updated stats after every chunk merge --
+        the live progress/ETA hook.
         """
         stats = stats if stats is not None else self.new_stats()
         tracer = resolve_tracer(tracer)
@@ -378,6 +402,8 @@ class CorpusEngine:
                 stats.failures.append(failure)
                 if policy.mode == "quarantine":
                     write_quarantine(policy.quarantine_dir, failure)
+            if progress is not None:
+                progress(stats)
             return payload
 
         if workers == 1:
@@ -440,6 +466,7 @@ class CorpusEngine:
         *,
         tracer: Tracer | NullTracer | None = None,
         provenance: ProvenanceLog | None = None,
+        progress: Callable[[EngineStats], None] | None = None,
     ) -> CorpusResult:
         """Convert a corpus, collecting XML, statistics, and counters.
 
@@ -455,7 +482,11 @@ class CorpusEngine:
         accumulator = PathAccumulator()
         with tracer.span("engine.convert_corpus") as span:
             for payload in self.stream(
-                sources, stats=stats, tracer=tracer, provenance=provenance
+                sources,
+                stats=stats,
+                tracer=tracer,
+                provenance=provenance,
+                progress=progress,
             ):
                 xml_documents.extend(payload.xml)
                 failures.extend(payload.failures)
@@ -537,12 +568,13 @@ class CorpusEngine:
         discover: bool = True,
         tracer: Tracer | NullTracer | None = None,
         provenance: ProvenanceLog | None = None,
+        progress: Callable[[EngineStats], None] | None = None,
     ) -> EngineRun:
         """Convert a corpus and (optionally) discover its schema."""
         tracer = resolve_tracer(tracer)
         with tracer.span("engine.run"):
             corpus = self.convert_corpus(
-                sources, tracer=tracer, provenance=provenance
+                sources, tracer=tracer, provenance=provenance, progress=progress
             )
             discovery = None
             # Schema discovery needs surviving documents: an empty corpus

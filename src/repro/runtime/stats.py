@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.quantiles import QuantileDigest, merge_digest_maps
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.convert.errors import DocumentFailure
@@ -56,6 +57,39 @@ TAGGER_CACHE_EVENTS = "repro_tagger_cache_events_total"
 # absurd docs/sec figures); the divisor is floored here instead.
 MIN_WALL_SECONDS = 1e-3
 
+# Digest key for per-document end-to-end latency (parse through path
+# extraction), alongside the per-stage keys from rule_seconds.
+DOCUMENT_STAGE = "document"
+
+# Stage order for quantile report tables: pipeline stages first, the
+# end-to-end document row last.
+STAGE_ORDER = (
+    "parse",
+    "tidy",
+    "tokenize",
+    "instance",
+    "group",
+    "consolidate",
+    "root",
+    DOCUMENT_STAGE,
+)
+
+# How many slowest-document records each chunk ships home (the parent
+# keeps the global top K of the per-chunk top Ks).
+SLOWEST_PER_CHUNK = 10
+
+
+def merge_slowest(
+    held: list[dict], other: list[dict], *, keep: int = SLOWEST_PER_CHUNK
+) -> list[dict]:
+    """Top-``keep`` slowest documents across two top-K lists, slowest
+    first, index-tiebroken so merging is order-insensitive."""
+    combined = sorted(
+        held + list(other),
+        key=lambda entry: (-entry.get("seconds", 0.0), entry.get("index", 0)),
+    )
+    return combined[:keep]
+
 
 @dataclass
 class ChunkStats:
@@ -84,6 +118,14 @@ class ChunkStats:
     # ({"synonym": {"hits": ..., "misses": ..., "evictions": ...}});
     # empty when the fast tagger or its memoization is off.
     tagger_cache: dict[str, dict[str, int]] = field(default_factory=dict)
+    # Per-stage latency digests ({"parse": ..., "document": ...}): one
+    # observation per surviving document per stage, in a mergeable
+    # QuantileDigest whose compact tuple state rides the pickle.
+    stage_digests: dict[str, QuantileDigest] = field(default_factory=dict)
+    # This chunk's top-K slowest documents, slowest first, each with its
+    # label-path context ({"doc", "index", "seconds", "root",
+    # "label_paths", "input_nodes", "concept_nodes"}).
+    slowest_docs: list[dict] = field(default_factory=list)
 
     def fold(self, other: "ChunkStats") -> None:
         """Accumulate another chunk record into this one (used when
@@ -107,6 +149,39 @@ class ChunkStats:
             held = self.tagger_cache.setdefault(cache_name, {})
             for event, value in counters.items():
                 held[event] = held.get(event, 0) + value
+        merge_digest_maps(self.stage_digests, other.stage_digests)
+        self.slowest_docs = merge_slowest(self.slowest_docs, other.slowest_docs)
+
+    def observe_document(
+        self,
+        doc_id: str,
+        index: int,
+        seconds: float,
+        rule_seconds: dict[str, float],
+        *,
+        context: dict | None = None,
+    ) -> None:
+        """Fold one surviving document's timings into the chunk digests
+        and its slowest-documents candidates."""
+        for stage, stage_seconds in rule_seconds.items():
+            digest = self.stage_digests.get(stage)
+            if digest is None:
+                digest = self.stage_digests[stage] = QuantileDigest()
+            digest.observe(stage_seconds)
+        digest = self.stage_digests.get(DOCUMENT_STAGE)
+        if digest is None:
+            digest = self.stage_digests[DOCUMENT_STAGE] = QuantileDigest()
+        digest.observe(seconds)
+        entry = {"doc": doc_id, "index": index, "seconds": round(seconds, 6)}
+        if context:
+            entry.update(context)
+        self.slowest_docs.append(entry)
+        if len(self.slowest_docs) > 4 * SLOWEST_PER_CHUNK:
+            self.slowest_docs = merge_slowest(self.slowest_docs, [])
+
+    def finalize_slowest(self) -> None:
+        """Trim the slowest-documents candidates to the shipped top K."""
+        self.slowest_docs = merge_slowest(self.slowest_docs, [])
 
 
 def rule_rows_from_registry(registry: MetricsRegistry) -> list[list[str]]:
@@ -151,6 +226,10 @@ class EngineStats:
         # (parent-side only; counters below persist through the registry,
         # this detail list does not).
         self.failures: list["DocumentFailure"] = []
+        # Run-intelligence state merged from chunk digests (parent-side;
+        # persisted via the run ledger rather than the registry).
+        self.stage_digests: dict[str, QuantileDigest] = {}
+        self.slowest_docs: list[dict] = []
         self.workers = workers
         self.chunk_size = chunk_size
 
@@ -224,7 +303,9 @@ class EngineStats:
 
     @max_queue_depth.setter
     def max_queue_depth(self, value: int) -> None:
-        self.registry.gauge(MAX_QUEUE_DEPTH).set(value)
+        # A high-water mark: registered with merge="max" so registries
+        # merged across chunk workers keep the corpus-wide maximum.
+        self.registry.gauge(MAX_QUEUE_DEPTH, merge="max").set(value)
 
     @property
     def tokens_created(self) -> int:
@@ -309,6 +390,8 @@ class EngineStats:
                     TAGGER_CACHE_EVENTS, cache=cache_name, event=event
                 ).inc(value)
         registry.histogram(CHUNK_SECONDS_HISTOGRAM).observe(chunk.seconds)
+        merge_digest_maps(self.stage_digests, chunk.stage_digests)
+        self.slowest_docs = merge_slowest(self.slowest_docs, chunk.slowest_docs)
         self.per_chunk.append(chunk)
 
     @classmethod
@@ -319,6 +402,8 @@ class EngineStats:
         stats.registry = registry
         stats.per_chunk = []
         stats.failures = []
+        stats.stage_digests = {}
+        stats.slowest_docs = []
         return stats
 
     # -- report tables -------------------------------------------------------
@@ -372,3 +457,46 @@ class EngineStats:
     def rule_rows(self) -> list[list[str]]:
         """(rule, seconds, share) rows, slowest stage first."""
         return rule_rows_from_registry(self.registry)
+
+    def stage_quantile_rows(self) -> list[list[str]]:
+        """(stage, count, p50/p95/p99 ms) rows from the merged digests,
+        pipeline order, end-to-end ``document`` row last."""
+        ordered = [s for s in STAGE_ORDER if s in self.stage_digests]
+        ordered += sorted(set(self.stage_digests) - set(STAGE_ORDER))
+        rows: list[list[str]] = []
+        for stage in ordered:
+            digest = self.stage_digests[stage]
+            if not digest.count:
+                continue
+            p50, p95, p99 = digest.quantiles()
+            rows.append(
+                [
+                    stage,
+                    str(digest.count),
+                    f"{p50 * 1e3:.2f}",
+                    f"{p95 * 1e3:.2f}",
+                    f"{p99 * 1e3:.2f}",
+                ]
+            )
+        return rows
+
+    def slowest_rows(self) -> list[list[str]]:
+        """(doc, seconds, label paths, input nodes) rows, slowest first."""
+        return [
+            [
+                str(entry.get("doc", "?")),
+                f"{entry.get('seconds', 0.0) * 1e3:.2f}",
+                str(entry.get("label_paths", "")),
+                str(entry.get("input_nodes", "")),
+            ]
+            for entry in self.slowest_docs
+        ]
+
+    def chunk_seconds_quantile(self, q: float) -> float:
+        """Approximate chunk-duration quantile from the registry
+        histogram -- available even for snapshots re-loaded by
+        ``repro-web stats``, where the digests are not persisted."""
+        metric = self.registry.get(CHUNK_SECONDS_HISTOGRAM)
+        if not isinstance(metric, Histogram):
+            return 0.0
+        return metric.quantile(q)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -131,6 +133,81 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "8 documents" in out
         assert "<!ELEMENT resume" in out
+
+    def test_convert_corpus_prints_quantile_tables(self, capsys):
+        assert main(["convert-corpus", "--generate", "5", "--quiet",
+                     "--max-workers", "1", "--chunk-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage latency quantiles" in out
+        assert "p95 ms" in out
+        assert "Slowest documents" in out
+
+    def test_run_intelligence_artifacts_round_trip(self, tmp_path, capsys):
+        """convert-corpus writes a Chrome trace and a ledger record,
+        both of which validate-obs accepts and report/runs render."""
+        chrome = tmp_path / "trace-chrome.json"
+        ledger = tmp_path / "runs.jsonl"
+        assert main(
+            ["convert-corpus", "--generate", "6", "--max-workers", "2",
+             "--chunk-size", "3", "--quiet",
+             "--trace-chrome", str(chrome), "--runlog", str(ledger)]
+        ) == 0
+        assert main(
+            ["validate-obs", "--chrome", str(chrome), "--runlog", str(ledger)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "Run report" in out
+        assert "Per-stage latency quantiles" in out
+        assert main(["runs", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "Run ledger (1 records" in out
+        assert "no comparable history" in out
+
+    def test_report_missing_run_fails(self, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        ledger.write_text("")
+        assert main(["report", str(ledger)]) == 1
+
+    def test_runs_check_flags_synthetic_slowdown(self, tmp_path, capsys):
+        """Three identical records pass --check; appending a 25% slower
+        clone fails it."""
+        record = {
+            "run_id": "r", "config_fingerprint": "cfg", "workers": 2,
+            "time_iso": "2026-01-01T00:00:00Z", "documents": 10,
+            "documents_failed": 0, "docs_per_second": 100.0,
+            "stage_quantiles": {},
+        }
+        ledger = tmp_path / "runs.jsonl"
+        lines = [dict(record, run_id=f"r{i}") for i in range(3)]
+        ledger.write_text(
+            "\n".join(json.dumps(line) for line in lines) + "\n"
+        )
+        assert main(["runs", str(ledger), "--check"]) == 0
+        slow = dict(record, run_id="slow", docs_per_second=75.0)
+        with ledger.open("a") as handle:
+            handle.write(json.dumps(slow) + "\n")
+        assert main(["runs", str(ledger), "--check"]) == 1
+        assert "REGRESSION: docs_per_second" in capsys.readouterr().err
+        # Without --check regressions are reported but don't fail.
+        assert main(["runs", str(ledger)]) == 0
+
+    def test_runs_bench_mode(self, tmp_path, capsys):
+        baseline = {"engine": {"docs_per_sec": 100.0}}
+        current = {"engine": {"docs_per_sec": 70.0}}
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps(baseline))
+        cur_path.write_text(json.dumps(current))
+        assert main(["runs", "--bench-current", str(base_path),
+                     "--bench-baseline", str(base_path), "--check"]) == 0
+        assert main(["runs", "--bench-current", str(cur_path),
+                     "--bench-baseline", str(base_path), "--check"]) == 1
+        assert "dropped 30%" in capsys.readouterr().err
+
+    def test_runs_without_ledger_or_bench_fails(self):
+        assert main(["runs"]) == 2
 
     def test_crawl_reports_metrics(self, capsys, tmp_path):
         out_dir = tmp_path / "crawled"

@@ -12,6 +12,7 @@ import json
 
 import pytest
 
+from repro.obs.export import load_metrics, write_metrics
 from repro.obs.metrics import SECONDS_BUCKETS, MetricsRegistry
 from repro.obs.validate import validate_prometheus_text
 
@@ -165,6 +166,131 @@ class TestMerge:
         assert left.value("docs") == 5
         assert left.value("workers") == 8
         assert left.histogram("h", buckets=(1.0,)).bucket_counts == [1, 1]
+
+
+class TestGaugeMergeModes:
+    def merge_pair(self, mode, left_value, right_value):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.gauge("g", merge=mode).set(left_value)
+        right.gauge("g", merge=mode).set(right_value)
+        left.merge(right)
+        return left.value("g")
+
+    def test_last_writer_wins_default(self):
+        assert self.merge_pair("last", 9, 2) == 2
+
+    def test_max_keeps_high_water_mark(self):
+        """A worker's peak queue depth must survive merging a later,
+        quieter chunk -- last-writer-wins understates it."""
+        assert self.merge_pair("max", 9, 2) == 9
+        assert self.merge_pair("max", 2, 9) == 9
+
+    def test_min_keeps_low_water_mark(self):
+        assert self.merge_pair("min", 9, 2) == 2
+        assert self.merge_pair("min", 2, 9) == 2
+
+    def test_sum_accumulates(self):
+        assert self.merge_pair("sum", 9, 2) == 11
+
+    def test_merge_into_fresh_registry_adopts_value(self):
+        """First contribution always lands verbatim, whatever the mode
+        (a fresh gauge's 0.0 must not win a min merge)."""
+        for mode in ("last", "max", "min", "sum"):
+            held = MetricsRegistry()
+            incoming = MetricsRegistry()
+            incoming.gauge("g", merge=mode).set(7)
+            held.merge(incoming)
+            assert held.value("g") == 7, mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().gauge("g", merge="average")
+
+    def test_conflicting_reregistration_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", merge="max")
+        with pytest.raises(ValueError):
+            registry.gauge("g", merge="sum")
+        # None means "don't care" and returns the existing gauge.
+        assert registry.gauge("g").merge_mode == "max"
+
+    def test_merge_mode_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.gauge("peak", merge="max").set(5)
+        registry.gauge("plain").set(3)
+        clone = MetricsRegistry.from_json(json.loads(registry.render_json()))
+        assert clone.gauge("peak").merge_mode == "max"
+        assert clone.gauge("plain").merge_mode == "last"
+
+
+class TestHistogramQuantile:
+    def build(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        return histogram
+
+    def test_empty_histogram_is_zero(self):
+        assert self.build().quantile(0.5) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        histogram = self.build()
+        for _ in range(10):
+            histogram.observe(0.5)  # all in the (0.1, 1.0] bucket
+        # Rank midpoint interpolates linearly across the bucket.
+        assert 0.1 < histogram.quantile(0.5) <= 1.0
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = self.build()
+        histogram.observe(0.05)
+        assert 0.0 < histogram.quantile(0.5) <= 0.1
+
+    def test_inf_bucket_returns_largest_finite_bound(self):
+        histogram = self.build()
+        histogram.observe(1000.0)
+        assert histogram.quantile(0.99) == 10.0
+
+    def test_spread_observations(self):
+        histogram = self.build()
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) <= 0.1
+        assert 0.1 < histogram.quantile(0.5) <= 1.0
+        assert 1.0 < histogram.quantile(1.0) <= 10.0
+
+
+class TestLoadMetrics:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("docs_total").inc(12)
+        registry.counter("rule_seconds_total", rule="parse").inc(0.5)
+        registry.gauge("workers").set(4)
+        registry.gauge("peak_queue", merge="max").set(7)
+        registry.histogram("chunk_seconds", buckets=(0.01, 0.1, 1.0)).observe(0.05)
+        registry.histogram("custom", buckets=(2.0, 4.0)).observe(3.0)
+        return registry
+
+    def test_json_round_trip_via_files(self, tmp_path):
+        registry = self.build()
+        target = tmp_path / "nested" / "m.json"  # parents created
+        write_metrics(registry, target)
+        clone = load_metrics(target)
+        assert clone.value("docs_total") == 12
+        assert clone.value("rule_seconds_total", rule="parse") == 0.5
+        assert clone.value("workers") == 4
+        assert clone.gauge("peak_queue").merge_mode == "max"
+        assert clone.histogram(
+            "chunk_seconds", buckets=(0.01, 0.1, 1.0)
+        ).bucket_counts == [0, 1, 0, 0]
+        assert clone.histogram("custom", buckets=(2.0, 4.0)).count == 1
+        assert clone.render_prometheus() == registry.render_prometheus()
+
+    def test_prometheus_suffixes_rejected(self, tmp_path):
+        registry = self.build()
+        for suffix in (".prom", ".txt"):
+            target = tmp_path / f"m{suffix}"
+            write_metrics(registry, target)
+            with pytest.raises(ValueError):
+                load_metrics(target)
 
 
 class TestValidation:

@@ -1,0 +1,143 @@
+"""ProgressReporter: rate limiting, ETA rendering, TTY gating."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.progress import ProgressReporter
+
+
+class FakeStats:
+    def __init__(self, documents=0, documents_failed=0, wall_seconds=0.0):
+        self.documents = documents
+        self.documents_failed = documents_failed
+        self.wall_seconds = wall_seconds
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TTYStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def make(total=100, *, enabled=True, min_interval=0.2, stream=None):
+    clock = FakeClock()
+    stream = stream if stream is not None else io.StringIO()
+    reporter = ProgressReporter(
+        total=total, stream=stream, enabled=enabled,
+        min_interval=min_interval, clock=clock,
+    )
+    return reporter, stream, clock
+
+
+class TestRendering:
+    def test_line_has_counts_percent_rate_and_eta(self):
+        reporter, _, _ = make(total=1000)
+        line = reporter.format_line(done=312, failed=0, elapsed=312 / 847.2)
+        assert "312/1000 docs" in line
+        assert "31%" in line
+        assert "847.2 docs/s" in line
+        assert "ETA 0.8s" in line
+        assert "failed" not in line
+
+    def test_failed_documents_shown(self):
+        reporter, _, _ = make(total=10)
+        line = reporter.format_line(done=8, failed=2, elapsed=1.0)
+        assert "(2 failed)" in line
+        assert "100%" in line  # done + failed over total
+
+    def test_unknown_total_drops_percent_and_eta(self):
+        reporter, _, _ = make(total=None)
+        line = reporter.format_line(done=7, failed=0, elapsed=1.0)
+        assert "7 docs" in line
+        assert "%" not in line
+        assert "ETA" not in line
+
+    def test_overwrites_with_carriage_return_and_padding(self):
+        reporter, stream, clock = make(min_interval=0.0)
+        reporter(FakeStats(50, 0, 1.0))
+        clock.advance(1.0)
+        reporter(FakeStats(51, 0, 100.0))  # slower rate -> shorter line
+        text = stream.getvalue()
+        assert text.count("\r") == 2
+        first, second = text.split("\r")[1:]
+        assert len(second) >= len(first)  # padding hides stale chars
+
+
+class TestRateLimit:
+    def test_renders_at_most_once_per_interval(self):
+        reporter, _, clock = make(min_interval=0.2)
+        for _ in range(100):
+            reporter(FakeStats(1, 0, 1.0))
+            clock.advance(0.01)
+        assert reporter.renders == 5  # 1 second / 0.2
+
+    def test_finish_ignores_rate_limit_and_terminates_line(self):
+        reporter, stream, _ = make(min_interval=1000.0)
+        reporter(FakeStats(10, 0, 1.0))
+        reporter.finish(FakeStats(100, 0, 2.0))
+        text = stream.getvalue()
+        assert "100/100 docs" in text
+        assert text.endswith("\n")
+
+    def test_finish_is_idempotent(self):
+        reporter, stream, _ = make()
+        reporter.finish(FakeStats(5, 0, 1.0))
+        reporter.finish(FakeStats(5, 0, 1.0))
+        assert stream.getvalue().count("\n") == 1
+
+    def test_context_manager_finishes(self):
+        reporter, stream, _ = make(min_interval=0.0)
+        with reporter:
+            reporter(FakeStats(3, 0, 1.0))
+        assert stream.getvalue().endswith("\n")
+
+
+class TestEnablement:
+    def test_disabled_writes_nothing(self):
+        reporter, stream, _ = make(enabled=False, min_interval=0.0)
+        reporter(FakeStats(5, 0, 1.0))
+        reporter.finish(FakeStats(5, 0, 1.0))
+        assert stream.getvalue() == ""
+        assert reporter.renders == 0
+
+    def test_auto_disabled_off_tty(self):
+        reporter = ProgressReporter(stream=io.StringIO())
+        assert reporter.enabled is False
+
+    def test_auto_enabled_on_tty(self):
+        reporter = ProgressReporter(stream=TTYStream())
+        assert reporter.enabled is True
+
+    def test_forced_on_overrides_non_tty(self):
+        reporter = ProgressReporter(stream=io.StringIO(), enabled=True)
+        assert reporter.enabled is True
+
+
+class TestEngineHook:
+    def test_engine_calls_reporter_per_chunk_merge(self, kb):
+        from repro.corpus.generator import ResumeCorpusGenerator
+        from repro.runtime.engine import CorpusEngine, EngineConfig
+
+        html = ResumeCorpusGenerator(seed=11).generate_html(6)
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=len(html), stream=stream, enabled=True, min_interval=0.0
+        )
+        engine = CorpusEngine(
+            kb, engine_config=EngineConfig(max_workers=1, chunk_size=2)
+        )
+        result = engine.convert_corpus(html, progress=reporter)
+        reporter.finish(result.stats)
+        assert reporter.renders == 4  # 3 chunk merges + finish
+        assert "6/6 docs" in stream.getvalue()

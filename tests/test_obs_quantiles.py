@@ -1,0 +1,203 @@
+"""QuantileDigest: monoid laws (hypothesis), accuracy, serialization.
+
+Mirrors the :class:`PathAccumulator` suite in test_runtime_merge.py:
+the engine ships one digest per chunk and merges parent-side, so any
+chunking of the observations, merged in any grouping, must equal the
+single-pass digest.  Bucket counts and extrema are exact, so the laws
+hold exactly for everything ``quantile`` reads; only the float ``total``
+is compared with ``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.quantiles import (
+    DEFAULT_BUCKETS_PER_DECADE,
+    QuantileDigest,
+    merge_digest_maps,
+)
+
+# Latency-shaped observations: most values in the microsecond-to-minute
+# range the layout resolves, plus 0.0 (sub-resolution timer reads) and
+# out-of-range magnitudes that exercise the clamped edge buckets.
+latencies = st.one_of(
+    st.floats(min_value=1e-7, max_value=1e3),
+    st.just(0.0),
+    st.floats(min_value=1e6, max_value=1e9),
+)
+samples = st.lists(latencies, min_size=0, max_size=50)
+
+
+def from_values(values) -> QuantileDigest:
+    digest = QuantileDigest()
+    digest.observe_many(values)
+    return digest
+
+
+def assert_equivalent(a: QuantileDigest, b: QuantileDigest) -> None:
+    """Exact on everything quantile() reads, approx on the float sum."""
+    assert a.layout() == b.layout()
+    assert a.counts == b.counts
+    assert a.count == b.count
+    assert a.min_value == b.min_value
+    assert a.max_value == b.max_value
+    assert a.total == pytest.approx(b.total)
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert a.quantile(q) == b.quantile(q)
+
+
+class TestMonoidLaws:
+    @given(samples)
+    def test_identity(self, values):
+        digest = from_values(values)
+        empty = QuantileDigest()
+        assert digest.merge(empty) == digest
+        assert empty.merge(digest) == digest
+
+    @given(samples, samples)
+    def test_commutative(self, left, right):
+        a, b = from_values(left), from_values(right)
+        # Counter addition commutes exactly; IEEE float addition does
+        # too, so equality is exact here.
+        assert a.merge(b) == b.merge(a)
+
+    @given(samples, samples, samples)
+    @settings(max_examples=50)
+    def test_associative(self, one, two, three):
+        a, b, c = from_values(one), from_values(two), from_values(three)
+        assert_equivalent(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+    @given(samples, samples)
+    def test_merge_is_pure(self, left, right):
+        a, b = from_values(left), from_values(right)
+        a_before, b_before = a.copy(), b.copy()
+        a.merge(b)
+        assert a == a_before
+        assert b == b_before
+
+    def test_layout_mismatch_rejected(self):
+        a = QuantileDigest()
+        b = QuantileDigest(buckets_per_decade=4)
+        with pytest.raises(ValueError):
+            a.update(b)
+
+
+class TestPartitionEquivalence:
+    @given(samples, st.integers(min_value=1, max_value=5))
+    def test_chunked_merge_equals_single_pass(self, values, chunk_size):
+        """Any partition of the observations, merged in order, answers
+        every quantile identically to the single-pass digest -- the
+        4-worker == serial guarantee."""
+        whole = from_values(values)
+        merged = QuantileDigest()
+        for start in range(0, len(values), chunk_size):
+            merged.update(from_values(values[start : start + chunk_size]))
+        assert_equivalent(merged, whole)
+
+    @given(st.lists(latencies, min_size=1, max_size=30))
+    def test_digest_map_fold(self, values):
+        half = len(values) // 2
+        held: dict[str, QuantileDigest] = {}
+        merge_digest_maps(held, {"parse": from_values(values[:half])})
+        merge_digest_maps(held, {"parse": from_values(values[half:]),
+                                 "tidy": from_values(values)})
+        assert_equivalent(held["parse"], from_values(values))
+        assert_equivalent(held["tidy"], from_values(values))
+
+    def test_digest_map_fold_copies_first_contribution(self):
+        incoming = from_values([0.5])
+        held: dict[str, QuantileDigest] = {}
+        merge_digest_maps(held, {"parse": incoming})
+        held["parse"].observe(1.0)
+        assert incoming.count == 1  # caller's digest not aliased
+
+
+class TestQuantileAccuracy:
+    def test_empty_digest(self):
+        digest = QuantileDigest()
+        assert digest.quantile(0.5) == 0.0
+        assert digest.mean == 0.0
+        assert digest.summary()["count"] == 0
+
+    def test_single_value_all_quantiles(self):
+        digest = from_values([0.125])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert digest.quantile(q) == pytest.approx(0.125, rel=1e-9)
+
+    def test_extremes_are_exact(self):
+        digest = from_values([0.003, 0.4, 0.007, 12.0, 0.0001])
+        assert digest.quantile(0.0) == 0.0001
+        assert digest.quantile(1.0) == 12.0
+
+    @given(st.lists(st.floats(min_value=1e-5, max_value=100.0),
+                    min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_within_documented_relative_error(self, values):
+        """Every reported quantile lies within the documented one-bucket
+        relative error of the true order statistic (clamping to min/max
+        can only tighten this)."""
+        digest = from_values(values)
+        ordered = sorted(values)
+        tolerance = digest.relative_error
+        for q in (0.5, 0.95, 0.99):
+            rank = q * (len(ordered) - 1)
+            low = ordered[int(rank)]
+            high = ordered[min(len(ordered) - 1, int(rank) + 1)]
+            estimate = digest.quantile(q)
+            assert estimate >= low * (1 - tolerance) * (1 - 1e-9)
+            assert estimate <= high * (1 + tolerance) * (1 + 1e-9)
+
+    def test_zero_and_negative_fall_into_first_bucket(self):
+        digest = QuantileDigest()
+        digest.observe(0.0)
+        digest.observe(-1.0)  # clock skew reads clamp to zero
+        assert digest.counts == {0: 2}
+        assert digest.min_value == 0.0
+        assert digest.quantile(0.5) == 0.0
+
+    def test_overflow_clamps_to_last_bucket(self):
+        digest = QuantileDigest()
+        digest.observe(1e12)
+        assert digest.counts == {digest.bucket_count - 1: 1}
+        assert digest.quantile(1.0) == 1e12  # exact max survives
+
+    def test_relative_error_matches_layout(self):
+        digest = QuantileDigest()
+        expected = 10.0 ** (1.0 / DEFAULT_BUCKETS_PER_DECADE) - 1.0
+        assert digest.relative_error == pytest.approx(expected)
+        assert digest.relative_error < 0.16
+
+
+class TestSerialization:
+    @given(samples)
+    @settings(max_examples=40)
+    def test_pickle_round_trip(self, values):
+        digest = from_values(values)
+        assert pickle.loads(pickle.dumps(digest)) == digest
+
+    @given(samples)
+    @settings(max_examples=40)
+    def test_json_round_trip(self, values):
+        digest = from_values(values)
+        wire = json.loads(json.dumps(digest.to_json()))
+        assert QuantileDigest.from_json(wire) == digest
+
+    def test_summary_is_json_ready(self):
+        digest = from_values([0.001, 0.01, 0.1])
+        summary = json.loads(json.dumps(digest.summary()))
+        assert summary["count"] == 3
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.1
+        assert 0.001 <= summary["p50"] <= 0.1
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileDigest(lo=0.0)
+        with pytest.raises(ValueError):
+            QuantileDigest(buckets_per_decade=0)
