@@ -14,6 +14,10 @@ Subcommands mirror the pipeline stages::
     repro-web validate-obs --trace trace.jsonl --metrics m.prom
     repro-web evaluate     --docs 50                         # Figure 4 numbers
     repro-web crawl        --resumes 30 --noise 100          # simulated crawl
+    repro-web evolve init state/                             # online evolution
+    repro-web evolve fold state/ --generate 40 --repository repo/
+    repro-web evolve status state/
+    repro-web evolve rollback --repository repo/
 
 (Converted XML is re-loaded with the HTML parser, which accepts the XML
 subset the converter emits.)
@@ -53,12 +57,34 @@ from repro.schema.majority import MajoritySchema
 from repro.schema.paths import extract_paths
 
 
+def _style_weights(styles: list[str] | None) -> dict[str, float] | None:
+    """Turn repeated ``--style`` flags into generator style weights.
+
+    Selected styles get weight 1, every other known style gets an
+    explicit 0 (the generator defaults unlisted styles to 1, so merely
+    listing the chosen ones would not exclude the rest).
+    """
+    if not styles:
+        return None
+    from repro.corpus.styles import STYLES
+
+    unknown = sorted(set(styles) - set(STYLES))
+    if unknown:
+        raise SystemExit(
+            f"unknown style(s): {', '.join(unknown)} "
+            f"(available: {', '.join(sorted(STYLES))})"
+        )
+    return {name: (1.0 if name in styles else 0.0) for name in STYLES}
+
+
 def _cmd_gen_corpus(args: argparse.Namespace) -> int:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    generator = ResumeCorpusGenerator(seed=args.seed)
+    generator = ResumeCorpusGenerator(
+        seed=args.seed, style_weights=_style_weights(args.style)
+    )
     for doc in generator.generate(args.count):
-        (out / f"resume{doc.doc_id:04d}.html").write_text(doc.html)
+        (out / f"resume{doc.doc_id:04d}.html").write_text(doc.html, encoding="utf-8")
     print(f"wrote {args.count} resumes to {out}/")
     return 0
 
@@ -87,9 +113,9 @@ def _cmd_html2xml(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     for name in args.files:
         source = Path(name)
-        result = converter.convert(source.read_text())
+        result = converter.convert(source.read_text(encoding="utf-8"))
         target = out / (source.stem + ".xml")
-        target.write_text(result.to_xml())
+        target.write_text(result.to_xml(), encoding="utf-8")
         for rule, seconds in result.rule_seconds.items():
             registry.counter(RULE_SECONDS, rule=rule).inc(seconds)
         print(
@@ -111,14 +137,17 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
     from repro.runtime.engine import CorpusEngine, EngineConfig
 
     if args.files:
-        sources = [Path(name).read_text() for name in args.files]
+        sources = [Path(name).read_text(encoding="utf-8") for name in args.files]
     elif args.generate:
-        sources = ResumeCorpusGenerator(seed=args.seed).generate_html(args.generate)
+        sources = ResumeCorpusGenerator(
+            seed=args.seed, style_weights=_style_weights(args.style)
+        ).generate_html(args.generate)
     else:
         print("convert-corpus needs input files or --generate N", file=sys.stderr)
         return 2
+    kb = build_resume_knowledge_base()
     engine = CorpusEngine(
-        build_resume_knowledge_base(),
+        kb,
         _conversion_config(args),
         engine_config=EngineConfig(
             max_workers=args.max_workers or None,
@@ -167,7 +196,7 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
                 stem = Path(args.files[position]).stem
             else:
                 stem = f"doc{position:04d}"
-            (out / f"{stem}.xml").write_text(xml)
+            (out / f"{stem}.xml").write_text(xml, encoding="utf-8")
         print(f"wrote {len(result.xml_documents)} XML documents to {out}/")
     if result.failures:
         rows = [
@@ -214,6 +243,24 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
             )
         )
         print(f"appended run {record['run_id']} to {args.runlog}")
+    if args.checkpoint_dir:
+        from repro.schema.evolution import AccumulatorCheckpoint
+
+        checkpoint = AccumulatorCheckpoint(args.checkpoint_dir)
+        sequence = checkpoint.append_delta(result.accumulator)
+        compacted = checkpoint.maybe_compact()
+        info = checkpoint.info()
+        print(
+            f"checkpointed delta #{sequence} to {args.checkpoint_dir}/ "
+            f"({info.document_count} documents accumulated"
+            + (", log compacted)" if compacted else ")")
+        )
+    if args.fold_into:
+        from repro.schema.evolution import EvolvingSchema
+
+        evolving = EvolvingSchema(args.fold_into, kb)
+        outcome = evolving.fold(result.accumulator)
+        print(f"fold into {args.fold_into}: {outcome.summary()}")
     if run.discovery is not None:
         print()
         print(run.discovery.schema.describe())
@@ -228,7 +275,7 @@ def _load_xml_roots(files: list[str]) -> list:
 
     roots = []
     for name in files:
-        text = Path(name).read_text()
+        text = Path(name).read_text(encoding="utf-8")
         if not parse_fragment(text).element_children():
             continue
         roots.append(load_xml_document(text))
@@ -437,8 +484,8 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             print("runs needs both --bench-current and --bench-baseline",
                   file=sys.stderr)
             return 2
-        current = _json.loads(Path(args.bench_current).read_text())
-        baseline = _json.loads(Path(args.bench_baseline).read_text())
+        current = _json.loads(Path(args.bench_current).read_text(encoding="utf-8"))
+        baseline = _json.loads(Path(args.bench_baseline).read_text(encoding="utf-8"))
         regressions = bench_regressions(
             current, baseline, threshold=args.threshold
         )
@@ -587,9 +634,271 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         for resume in report.collected:
             result = converter.convert(resume.html)
             (out / f"crawled{resume.doc_id:04d}.xml").write_text(
-                to_xml_document(result.root)
+                to_xml_document(result.root), encoding="utf-8"
             )
         print(f"converted {len(report.collected)} crawled resumes into {out}/")
+    return 0
+
+
+def _migration_rows(report) -> list[list[str]]:
+    return [
+        ["documents", str(report.documents)],
+        ["already conforming", str(report.already_conforming)],
+        ["migrated", str(report.migrated)],
+        ["repair operations", str(report.total_operations)],
+        ["avg edit distance", f"{report.avg_edit_distance:.2f}"],
+    ]
+
+
+def _cmd_evolve_init(args: argparse.Namespace) -> int:
+    from repro.schema.evolution import EvolvingSchema
+
+    evolving = EvolvingSchema(
+        args.state,
+        build_resume_knowledge_base(),
+        sup_threshold=args.sup,
+        ratio_threshold=args.ratio,
+        optional_threshold=args.optional,
+        compaction_ratio=args.compaction_ratio,
+    )
+    if evolving.exists():
+        print(
+            f"{args.state}: evolution state already initialized "
+            f"(schema version {evolving.version})",
+            file=sys.stderr,
+        )
+        return 1
+    evolving.save_state()
+    print(
+        f"initialized evolution state in {args.state}/ "
+        f"(sup={evolving.sup_threshold}, ratio={evolving.ratio_threshold}, "
+        f"optional={evolving.optional_threshold})"
+    )
+    return 0
+
+
+def _cmd_evolve_status(args: argparse.Namespace) -> int:
+    from repro.schema.evolution import EvolvingSchema
+
+    evolving = EvolvingSchema(args.state, build_resume_knowledge_base())
+    if not evolving.exists():
+        print(f"{args.state}: no evolution state (run 'evolve init' first)",
+              file=sys.stderr)
+        return 1
+    print(format_table(["evolution", "value"], evolving.status_rows(),
+                       title=f"Evolution state ({args.state})"))
+    history = evolving.history
+    if history:
+        print()
+        print(format_table(
+            ["version", "documents", "delta"],
+            [
+                [str(entry["version"]), str(entry["documents"]),
+                 entry["summary"]]
+                for entry in history
+            ],
+            title="Version history",
+        ))
+    if evolving.dtd_text:
+        print()
+        print(evolving.dtd_text)
+    return 0
+
+
+def _evolve_publish(
+    vrepo,
+    evolving,
+    new_xml: list[str],
+    *,
+    max_workers: int | None,
+    chunk_size: int,
+) -> tuple[int, dict | None]:
+    """Bring a versioned repository up to the evolving schema.
+
+    Migrates the repository's existing documents when their stored DTD
+    is behind the schema's current one (in parallel, through the
+    tree-edit mapping layer), conforms and appends ``new_xml``, and
+    publishes the combined store as the next version.  Returns the
+    published version and a migration summary (``None`` when nothing
+    needed migrating).
+    """
+    from repro.dom.serialize import to_xml_document as _to_xml
+    from repro.mapping.persistence import DTD_NAME, load_xml_document
+    from repro.mapping.repository import RepositoryStats, XMLRepository
+    from repro.mapping.versioned import migrate_documents
+
+    dtd = evolving.dtd
+    existing_xml: list[str] = []
+    migration = None
+    existing_conforming = 0
+    existing_repaired = 0
+    existing_operations = 0
+    if vrepo.exists():
+        existing_xml = vrepo.document_xml()
+        stored_dtd = (
+            vrepo.version_dir(vrepo.current_version()) / DTD_NAME
+        ).read_text(encoding="utf-8")
+        if stored_dtd != evolving.dtd_text:
+            existing_xml, report = migrate_documents(
+                existing_xml, dtd,
+                max_workers=max_workers, chunk_size=chunk_size,
+            )
+            migration = {
+                "documents": report.documents,
+                "already_conforming": report.already_conforming,
+                "migrated": report.migrated,
+                "total_operations": report.total_operations,
+            }
+            print(format_table(["migration", "value"],
+                               _migration_rows(report),
+                               title="Parallel repository migration"))
+            existing_conforming = report.already_conforming
+            existing_repaired = report.migrated
+            existing_operations = report.total_operations
+        else:
+            existing_conforming = len(existing_xml)
+    inserter = XMLRepository(dtd)
+    for xml in new_xml:
+        inserter.insert(load_xml_document(xml))
+    combined = existing_xml + [_to_xml(doc) for doc in inserter.documents]
+    stats = RepositoryStats(
+        documents=len(combined),
+        conforming_on_arrival=(
+            existing_conforming + inserter.stats.conforming_on_arrival
+        ),
+        repaired=existing_repaired + inserter.stats.repaired,
+        rejected=inserter.stats.rejected,
+        total_repair_operations=(
+            existing_operations + inserter.stats.total_repair_operations
+        ),
+    )
+    version = vrepo.publish_xml(
+        dtd, combined, stats, schema_version=evolving.version
+    )
+    return version, migration
+
+
+def _cmd_evolve_fold(args: argparse.Namespace) -> int:
+    from repro.mapping.versioned import VersionedRepository
+    from repro.runtime.engine import CorpusEngine, EngineConfig
+    from repro.schema.evolution import EvolvingSchema
+
+    kb = build_resume_knowledge_base()
+    evolving_probe = EvolvingSchema(args.state, kb)
+    if not evolving_probe.exists():
+        print(f"{args.state}: no evolution state (run 'evolve init' first)",
+              file=sys.stderr)
+        return 1
+    if args.files:
+        sources = [Path(name).read_text(encoding="utf-8") for name in args.files]
+    elif args.generate:
+        sources = ResumeCorpusGenerator(
+            seed=args.seed, style_weights=_style_weights(args.style)
+        ).generate_html(args.generate)
+    else:
+        print("evolve fold needs input files or --generate N", file=sys.stderr)
+        return 2
+    engine = CorpusEngine(
+        kb,
+        engine_config=EngineConfig(
+            max_workers=args.max_workers or None,
+            chunk_size=args.chunk_size,
+        ),
+    )
+    run = engine.run(sources, discover=False)
+    result = run.corpus
+    # Re-open against the engine's registry so fold counters and the
+    # schema-version gauge land next to the conversion metrics.
+    evolving = EvolvingSchema(args.state, kb, registry=result.stats.registry)
+    outcome = evolving.fold(result.accumulator)
+    print(outcome.summary())
+    repository_version = None
+    migration = None
+    if args.repository:
+        if evolving.dtd is None:
+            print("no schema derivable yet; repository left untouched",
+                  file=sys.stderr)
+        else:
+            vrepo = VersionedRepository(args.repository)
+            repository_version, migration = _evolve_publish(
+                vrepo, evolving, result.xml_documents,
+                max_workers=args.max_workers or None,
+                chunk_size=args.chunk_size,
+            )
+            print(
+                f"published repository version v{repository_version:04d} "
+                f"(schema version {evolving.version}) in {args.repository}/"
+            )
+    for target_name in args.metrics_out or []:
+        write_metrics(result.stats.registry, target_name)
+        print(f"wrote metrics to {target_name}")
+    if args.runlog:
+        from repro.obs import build_evolution_record
+
+        ledger = RunLedger(args.runlog)
+        record = ledger.append(
+            build_evolution_record(
+                outcome,
+                topic="resume",
+                migration=migration,
+                repository_version=repository_version,
+            )
+        )
+        print(f"appended evolution record {record['run_id']} to {args.runlog}")
+    return 0
+
+
+def _cmd_evolve_migrate(args: argparse.Namespace) -> int:
+    from repro.mapping.persistence import DTD_NAME
+    from repro.mapping.versioned import VersionedRepository
+    from repro.schema.evolution import EvolvingSchema
+
+    evolving = EvolvingSchema(args.state, build_resume_knowledge_base())
+    if evolving.dtd is None:
+        print(f"{args.state}: no schema derived yet", file=sys.stderr)
+        return 1
+    vrepo = VersionedRepository(args.repository)
+    if not vrepo.exists():
+        print(f"{args.repository}: no versioned repository", file=sys.stderr)
+        return 1
+    stored_dtd = (
+        vrepo.version_dir(vrepo.current_version()) / DTD_NAME
+    ).read_text(encoding="utf-8")
+    if stored_dtd == evolving.dtd_text:
+        print(
+            f"{args.repository}: already at schema version "
+            f"{evolving.version}; nothing to migrate"
+        )
+        return 0
+    version, report = vrepo.migrate(
+        evolving.dtd,
+        schema_version=evolving.version,
+        max_workers=args.max_workers or None,
+        chunk_size=args.chunk_size,
+    )
+    print(format_table(["migration", "value"], _migration_rows(report),
+                       title="Parallel repository migration"))
+    print(
+        f"published repository version v{version:04d} "
+        f"(schema version {evolving.version}) in {args.repository}/"
+    )
+    return 0
+
+
+def _cmd_evolve_rollback(args: argparse.Namespace) -> int:
+    from repro.mapping.versioned import VersionedRepository
+
+    vrepo = VersionedRepository(args.repository)
+    try:
+        previous = vrepo.rollback()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(
+        f"{args.repository}: CURRENT rolled back to v{previous:04d} "
+        f"(superseded versions kept on disk; 'evolve fold' or 'evolve "
+        f"migrate' publishes forward again)"
+    )
     return 0
 
 
@@ -606,6 +915,13 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--count", type=int, default=50)
     gen.add_argument("--seed", type=int, default=1966)
     gen.add_argument("--out", default="corpus")
+    gen.add_argument(
+        "--style",
+        action="append",
+        metavar="NAME",
+        help="restrict generation to this rendering style (repeatable; "
+        "default: all styles uniformly)",
+    )
     gen.set_defaults(func=_cmd_gen_corpus)
 
     conv = sub.add_parser("html2xml", help="convert HTML files to XML")
@@ -645,6 +961,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="generate N synthetic resumes instead of reading files",
     )
     engine.add_argument("--seed", type=int, default=1966)
+    engine.add_argument(
+        "--style",
+        action="append",
+        metavar="NAME",
+        help="restrict --generate to this rendering style (repeatable)",
+    )
     engine.add_argument("--out", default="", help="directory for converted XML")
     engine.add_argument(
         "--max-workers",
@@ -740,6 +1062,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TEXT",
         help="fault injection: a worker that receives a document "
         "containing TEXT hard-exits, simulating an OOM/segfault kill",
+    )
+    engine.add_argument(
+        "--checkpoint-dir",
+        default="",
+        metavar="DIR",
+        help="durably append this run's path statistics to an "
+        "accumulator checkpoint (snapshot + delta log; crash-safe, "
+        "compacted automatically) for sharded merge-later discovery",
+    )
+    engine.add_argument(
+        "--fold-into",
+        default="",
+        metavar="STATE",
+        help="fold this run's path statistics into an 'evolve init' "
+        "state directory and re-derive the schema online",
     )
     engine.set_defaults(func=_cmd_convert_corpus)
 
@@ -849,6 +1186,99 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--docs", type=int, default=50)
     ev.add_argument("--seed", type=int, default=1966)
     ev.set_defaults(func=_cmd_evaluate)
+
+    evolve = sub.add_parser(
+        "evolve",
+        help="online schema evolution: durable incremental discovery "
+        "with a versioned repository",
+    )
+    evolve_sub = evolve.add_subparsers(dest="evolve_command", required=True)
+
+    einit = evolve_sub.add_parser(
+        "init", help="create an evolution state directory"
+    )
+    einit.add_argument("state", help="state directory to create")
+    einit.add_argument("--sup", type=float, default=0.4)
+    einit.add_argument("--ratio", type=float, default=0.0)
+    einit.add_argument("--optional", type=float, default=None)
+    einit.add_argument(
+        "--compaction-ratio",
+        type=float,
+        default=1.0,
+        help="compact the delta log once it reaches this multiple of "
+        "the snapshot size (default 1.0)",
+    )
+    einit.set_defaults(func=_cmd_evolve_init)
+
+    estatus = evolve_sub.add_parser(
+        "status", help="show schema version, history, and checkpoint sizes"
+    )
+    estatus.add_argument("state")
+    estatus.set_defaults(func=_cmd_evolve_status)
+
+    efold = evolve_sub.add_parser(
+        "fold",
+        help="convert new documents and fold them into the schema "
+        "(bumps the version only on real change)",
+    )
+    efold.add_argument("state")
+    efold.add_argument("files", nargs="*")
+    efold.add_argument(
+        "--generate", type=int, default=0, metavar="N",
+        help="generate N synthetic resumes instead of reading files",
+    )
+    efold.add_argument("--seed", type=int, default=1966)
+    efold.add_argument(
+        "--style",
+        action="append",
+        metavar="NAME",
+        help="restrict --generate to this rendering style (repeatable)",
+    )
+    efold.add_argument(
+        "--max-workers", type=int, default=0,
+        help="worker processes for conversion and migration "
+        "(0 = one per CPU, 1 = serial in-process)",
+    )
+    efold.add_argument("--chunk-size", type=int, default=16)
+    efold.add_argument(
+        "--repository", default="", metavar="DIR",
+        help="versioned repository to keep in step: on a version bump "
+        "its documents are migrated in parallel, then the new documents "
+        "are inserted and the combined store is published as the next "
+        "repository version",
+    )
+    efold.add_argument(
+        "--runlog", default="", metavar="PATH",
+        help="append one evolution record to this JSONL ledger",
+    )
+    efold.add_argument(
+        "--metrics-out",
+        action="append",
+        metavar="PATH",
+        help="write conversion + evolution metrics (.prom/.txt for "
+        "Prometheus text, anything else for JSON; repeatable)",
+    )
+    efold.set_defaults(func=_cmd_evolve_fold)
+
+    emigrate = evolve_sub.add_parser(
+        "migrate",
+        help="migrate a versioned repository onto the state's current DTD",
+    )
+    emigrate.add_argument("state")
+    emigrate.add_argument("--repository", required=True, metavar="DIR")
+    emigrate.add_argument(
+        "--max-workers", type=int, default=0,
+        help="migration worker processes (0 = one per CPU, 1 = serial)",
+    )
+    emigrate.add_argument("--chunk-size", type=int, default=16)
+    emigrate.set_defaults(func=_cmd_evolve_migrate)
+
+    erollback = evolve_sub.add_parser(
+        "rollback",
+        help="repoint a versioned repository at its previous version",
+    )
+    erollback.add_argument("--repository", required=True, metavar="DIR")
+    erollback.set_defaults(func=_cmd_evolve_rollback)
 
     crawl = sub.add_parser("crawl", help="crawl the simulated web for resumes")
     crawl.add_argument("--resumes", type=int, default=30)

@@ -206,9 +206,12 @@ def write_quarantine(directory: str | Path, failure: DocumentFailure) -> Path:
     """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
-    (target / f"{failure.doc_id}.html").write_text(failure.source or "")
+    (target / f"{failure.doc_id}.html").write_text(
+        failure.source or "", encoding="utf-8"
+    )
     error_path = target / f"{failure.doc_id}.error.json"
     error_path.write_text(
-        json.dumps(failure.to_json(), indent=2, sort_keys=True) + "\n"
+        json.dumps(failure.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
     )
     return error_path

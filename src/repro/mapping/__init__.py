@@ -11,6 +11,9 @@ document repository."
 * :mod:`repro.mapping.conform` -- DTD-guided document repair.
 * :mod:`repro.mapping.repository` -- the XML repository that integrates
   conformed documents.
+* :mod:`repro.mapping.versioned` -- the on-disk versioned repository
+  (immutable version directories, atomic ``CURRENT`` pointer, rollback)
+  with parallel document migration between schema versions.
 """
 
 from repro.mapping.conform import ConformResult, conform_document
@@ -20,6 +23,10 @@ from repro.mapping.persistence import load_repository, save_repository
 from repro.mapping.repository import XMLRepository
 from repro.mapping.tree_edit import tree_edit_distance
 from repro.mapping.validate import Violation, validate_document
+from repro.mapping.versioned import (
+    VersionedRepository,
+    migrate_documents,
+)
 
 __all__ = [
     "tree_edit_distance",
@@ -33,4 +40,6 @@ __all__ = [
     "migrate_repository",
     "MigrationReport",
     "approximate_edit_script",
+    "VersionedRepository",
+    "migrate_documents",
 ]

@@ -4,6 +4,10 @@ The Quixote prototype ([11]) the paper mentions builds durable "XML
 repositories from topic specific Web documents"; this module provides
 the storage layer: a directory holding the DTD, one XML file per
 document, and a JSON manifest with the insertion statistics.
+
+All files are read and written as UTF-8 explicitly -- repository
+round-trips must not depend on the platform locale (PCDATA routinely
+carries non-ASCII names and punctuation).
 """
 
 from __future__ import annotations
@@ -15,55 +19,106 @@ from repro.dom.node import Element
 from repro.dom.serialize import to_xml_document
 from repro.dom.treeops import iter_elements
 from repro.htmlparse.parser import parse_fragment
-from repro.mapping.repository import XMLRepository
+from repro.mapping.repository import RepositoryStats, XMLRepository
 from repro.schema.dtd import DTD
 
 MANIFEST_NAME = "manifest.json"
 DTD_NAME = "schema.dtd"
 
+ENCODING = "utf-8"
+
 
 def load_xml_document(text: str) -> Element:
     """Parse serialized converted-XML back into an element tree.
 
-    The HTML parser accepts the XML subset the serializer emits but
-    lower-cases tags; converted documents carry upper-case concept tags,
-    which are restored here.
+    This is the inverse of :func:`repro.dom.serialize.to_xml_document`
+    for converted documents, whose element tags are upper-case concept
+    names: the HTML parser accepts the XML subset the serializer emits
+    but lower-cases every tag, so tags are restored by upper-casing.
+    That is the pinned contract -- input whose original tags were not
+    all upper-case comes back upper-cased, which is why this loader is
+    only used for converted-document XML.
+
+    A document with multiple top-level elements is a hard error: the
+    serializer never produces one, so extra roots mean the file was
+    corrupted or hand-edited, and silently keeping one root (and
+    dropping the others) would lose data.
     """
     fragment = parse_fragment(text)
     elements = fragment.element_children()
     if not elements:
         raise ValueError("no element found in XML text")
-    root = elements[-1]
+    if len(elements) > 1:
+        tags = ", ".join(element.tag for element in elements)
+        raise ValueError(
+            f"expected exactly one root element, found {len(elements)} ({tags})"
+        )
+    root = elements[0]
     root.detach()
     for element in iter_elements(root):
         element.tag = element.tag.upper()
     return root
 
 
-def save_repository(repository: XMLRepository, directory: str | Path) -> Path:
-    """Write a repository to ``directory`` (created if needed)."""
+def write_repository_dir(
+    directory: str | Path,
+    dtd: DTD,
+    xml_documents: list[str],
+    stats: RepositoryStats,
+    *,
+    schema_version: int | None = None,
+) -> Path:
+    """Write one repository directory from already-serialized documents.
+
+    The lower-level half of :func:`save_repository`, shared with the
+    versioned layout (:mod:`repro.mapping.versioned`) whose parallel
+    migration transports documents as XML text and should not re-build
+    trees just to serialize them again.
+    """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
-    (target / DTD_NAME).write_text(repository.dtd.render())
+    (target / DTD_NAME).write_text(dtd.render(), encoding=ENCODING)
     names = []
-    for index, document in enumerate(repository.documents):
+    for index, xml in enumerate(xml_documents):
         name = f"doc{index:05d}.xml"
-        (target / name).write_text(to_xml_document(document))
+        (target / name).write_text(xml, encoding=ENCODING)
         names.append(name)
     manifest = {
         "format": "repro-xml-repository/1",
-        "root_name": repository.dtd.root_name,
+        "root_name": dtd.root_name,
         "documents": names,
         "stats": {
-            "documents": repository.stats.documents,
-            "conforming_on_arrival": repository.stats.conforming_on_arrival,
-            "repaired": repository.stats.repaired,
-            "rejected": repository.stats.rejected,
-            "total_repair_operations": repository.stats.total_repair_operations,
+            "documents": stats.documents,
+            "conforming_on_arrival": stats.conforming_on_arrival,
+            "repaired": stats.repaired,
+            "rejected": stats.rejected,
+            "total_repair_operations": stats.total_repair_operations,
         },
     }
-    (target / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    if schema_version is not None:
+        manifest["schema_version"] = schema_version
+    (target / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2), encoding=ENCODING
+    )
     return target
+
+
+def save_repository(
+    repository: XMLRepository,
+    directory: str | Path,
+    *,
+    schema_version: int | None = None,
+) -> Path:
+    """Write a repository to ``directory`` (created if needed)."""
+    if schema_version is None:
+        schema_version = repository.schema_version
+    return write_repository_dir(
+        directory,
+        repository.dtd,
+        [to_xml_document(document) for document in repository.documents],
+        repository.stats,
+        schema_version=schema_version,
+    )
 
 
 def load_repository(directory: str | Path) -> XMLRepository:
@@ -74,17 +129,21 @@ def load_repository(directory: str | Path) -> XMLRepository:
     :class:`ValueError` rather than silently repairing it.
     """
     source = Path(directory)
-    manifest = json.loads((source / MANIFEST_NAME).read_text())
+    manifest = json.loads((source / MANIFEST_NAME).read_text(encoding=ENCODING))
     if manifest.get("format") != "repro-xml-repository/1":
         raise ValueError(f"unrecognized repository format in {source}")
     dtd = DTD.parse(
-        (source / DTD_NAME).read_text(), root_name=manifest["root_name"]
+        (source / DTD_NAME).read_text(encoding=ENCODING),
+        root_name=manifest["root_name"],
     )
     repository = XMLRepository(dtd)
+    repository.schema_version = manifest.get("schema_version")
     from repro.mapping.validate import validate_document
 
     for name in manifest["documents"]:
-        document = load_xml_document((source / name).read_text())
+        document = load_xml_document(
+            (source / name).read_text(encoding=ENCODING)
+        )
         violations = validate_document(document, dtd)
         if violations:
             raise ValueError(
@@ -92,10 +151,21 @@ def load_repository(directory: str | Path) -> XMLRepository:
             )
         repository.documents.append(document)
     stats = manifest.get("stats", {})
-    repository.stats.documents = stats.get("documents", len(repository.documents))
-    repository.stats.conforming_on_arrival = stats.get("conforming_on_arrival", 0)
-    repository.stats.repaired = stats.get("repaired", 0)
-    repository.stats.rejected = stats.get("rejected", 0)
+    rejected = stats.get("rejected", 0)
+    repaired = stats.get("repaired", 0)
+    # Rejected documents were never written to disk, so the on-disk
+    # document count understates insertion attempts: the fallback for a
+    # manifest without an explicit total is stored + rejected, and the
+    # conforming-on-arrival fallback keeps repair_rate consistent
+    # (accepted = conforming + repaired = stored documents).
+    repository.stats.documents = stats.get(
+        "documents", len(repository.documents) + rejected
+    )
+    repository.stats.conforming_on_arrival = stats.get(
+        "conforming_on_arrival", len(repository.documents) - repaired
+    )
+    repository.stats.repaired = repaired
+    repository.stats.rejected = rejected
     repository.stats.total_repair_operations = stats.get(
         "total_repair_operations", 0
     )

@@ -50,6 +50,10 @@ class XMLRepository:
         self.max_repair_operations = max_repair_operations
         self.documents: list[Element] = []
         self.stats = RepositoryStats()
+        # The evolution schema version this repository's DTD came from
+        # (None for repositories outside an evolution workflow); carried
+        # through the manifest by the persistence layer.
+        self.schema_version: int | None = None
         self._index = None  # lazily built, invalidated on insert
 
     def insert(self, root: Element) -> ConformResult | None:

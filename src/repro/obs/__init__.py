@@ -54,6 +54,7 @@ from repro.obs.runlog import (
     Regression,
     RunLedger,
     bench_regressions,
+    build_evolution_record,
     build_run_record,
     compare_records,
     config_fingerprint,
@@ -75,6 +76,7 @@ __all__ = [
     "Regression",
     "RunLedger",
     "bench_regressions",
+    "build_evolution_record",
     "build_run_record",
     "compare_records",
     "config_fingerprint",

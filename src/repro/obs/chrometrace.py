@@ -156,7 +156,7 @@ def write_chrome_trace(
     document = spans_to_chrome_trace(
         span_dicts, pid=pid, process_name=process_name
     )
-    target.write_text(json.dumps(document, sort_keys=True))
+    target.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
     return target
 
 
@@ -254,7 +254,7 @@ def validate_chrome_trace(document: object) -> list[str]:
 def validate_chrome_trace_file(path: str | Path) -> list[str]:
     """Validate a trace-event JSON file on disk."""
     try:
-        document = json.loads(Path(path).read_text())
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         return [f"cannot read trace-event JSON: {exc}"]
     return validate_chrome_trace(document)

@@ -33,7 +33,7 @@ def write_trace_jsonl(
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     written = 0
-    with target.open("w") as handle:
+    with target.open("w", encoding="utf-8") as handle:
         if tracer is not None:
             for span_dict in tracer.export():
                 handle.write(json.dumps(span_dict, sort_keys=True) + "\n")
@@ -53,9 +53,9 @@ def write_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     if target.suffix in PROMETHEUS_SUFFIXES:
-        target.write_text(registry.render_prometheus())
+        target.write_text(registry.render_prometheus(), encoding="utf-8")
     else:
-        target.write_text(registry.render_json())
+        target.write_text(registry.render_json(), encoding="utf-8")
     return target
 
 
@@ -72,4 +72,4 @@ def load_metrics(path: str | Path) -> MetricsRegistry:
             "Prometheus exposition files cannot be re-loaded; "
             "save metrics as .json to render them with 'repro-web stats'"
         )
-    return MetricsRegistry.from_json(json.loads(target.read_text()))
+    return MetricsRegistry.from_json(json.loads(target.read_text(encoding="utf-8")))

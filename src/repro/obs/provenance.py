@@ -124,7 +124,7 @@ class ProvenanceLog:
         Parent directories are created for nested output paths."""
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("w") as handle:
+        with target.open("w", encoding="utf-8") as handle:
             for event in self.events:
                 handle.write(json.dumps(event, sort_keys=True) + "\n")
         return len(self.events)

@@ -160,6 +160,46 @@ def build_run_record(
     return record
 
 
+def build_evolution_record(
+    outcome,
+    *,
+    run_id: str | None = None,
+    topic: str = "",
+    timestamp: float | None = None,
+    migration: Mapping[str, object] | None = None,
+    repository_version: int | None = None,
+    extra: Mapping[str, object] | None = None,
+) -> dict:
+    """One ledger record (``kind: "evolution"``) for a schema fold.
+
+    ``outcome`` is a :class:`~repro.schema.evolution.FoldOutcome`;
+    ``migration`` and ``repository_version`` describe what the fold did
+    to a versioned repository, when one was attached.
+    """
+    now = time.time() if timestamp is None else timestamp
+    record: dict = {
+        "kind": "evolution",
+        "version": RUNLOG_VERSION,
+        "run_id": run_id or new_run_id(clock=lambda: now),
+        "timestamp": round(now, 3),
+        "time_iso": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+        "topic": topic,
+        "documents_folded": outcome.documents_folded,
+        "total_documents": outcome.total_documents,
+        "schema_version": outcome.version,
+        "bumped": outcome.bumped,
+        "derived": outcome.derived,
+        "compacted": outcome.compacted,
+        "paths_added": len(outcome.diff.added) if outcome.diff else 0,
+        "paths_removed": len(outcome.diff.removed) if outcome.diff else 0,
+        "migration": dict(migration) if migration else None,
+        "repository_version": repository_version,
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
 class RunLedger:
     """Append-only JSONL ledger of run records."""
 
@@ -168,7 +208,7 @@ class RunLedger:
 
     def append(self, record: dict) -> dict:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
+        with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
         return record
 
@@ -177,7 +217,7 @@ class RunLedger:
         if not self.path.exists():
             return []
         records = []
-        for line in self.path.read_text().splitlines():
+        for line in self.path.read_text(encoding="utf-8").splitlines():
             line = line.strip()
             if not line:
                 continue

@@ -43,7 +43,7 @@ _TYPE_CHECKS = {
 
 def load_schema(path: str | Path | None = None) -> dict:
     """The checked-in trace schema (or one loaded from ``path``)."""
-    return json.loads(Path(path or _SCHEMA_PATH).read_text())
+    return json.loads(Path(path or _SCHEMA_PATH).read_text(encoding="utf-8"))
 
 
 def _check_type(value: object, spec: str) -> bool:
@@ -144,7 +144,7 @@ def validate_trace_file(
     require_coverage: bool = False,
 ) -> list[str]:
     """Validate a ``--trace-out`` JSONL file."""
-    text = Path(path).read_text()
+    text = Path(path).read_text(encoding="utf-8")
     return validate_trace_lines(
         text.splitlines(), schema=schema, require_coverage=require_coverage
     )
@@ -155,7 +155,7 @@ def validate_trace_file(
 
 def load_runlog_schema(path: str | Path | None = None) -> dict:
     """The checked-in run-ledger schema (or one loaded from ``path``)."""
-    return json.loads(Path(path or _RUNLOG_SCHEMA_PATH).read_text())
+    return json.loads(Path(path or _RUNLOG_SCHEMA_PATH).read_text(encoding="utf-8"))
 
 
 def validate_runlog_lines(
@@ -186,7 +186,7 @@ def validate_runlog_file(
     path: str | Path, *, schema: dict | None = None
 ) -> list[str]:
     """Validate a ``--runlog`` ledger file."""
-    text = Path(path).read_text()
+    text = Path(path).read_text(encoding="utf-8")
     return validate_runlog_lines(text.splitlines(), schema=schema)
 
 
@@ -239,7 +239,7 @@ def validate_prometheus_text(text: str) -> list[str]:
 def validate_metrics_file(path: str | Path) -> list[str]:
     """Validate a ``--metrics-out`` file (.prom exposition or .json)."""
     target = Path(path)
-    text = target.read_text()
+    text = target.read_text(encoding="utf-8")
     if target.suffix in (".prom", ".txt"):
         return validate_prometheus_text(text)
     try:

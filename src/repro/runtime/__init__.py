@@ -6,6 +6,9 @@
 * :mod:`repro.runtime.stats` -- :class:`EngineStats` / per-chunk
   instrumentation (rule timings, docs/sec, queue depth, failure
   counts).
+* :mod:`repro.runtime.parallel` -- :class:`ParallelMapper`, the generic
+  chunked process-pool mapper (in-order results, bounded pending window,
+  per-worker initializer state) reused by repository migration.
 * :mod:`repro.runtime.faults` -- the fault-tolerance layer:
   :class:`ErrorPolicy` (fail-fast / skip / quarantine),
   :class:`DocumentFailure` records, and worker-crash recovery
@@ -27,6 +30,7 @@ from repro.runtime.engine import (
     EngineConfig,
     EngineRun,
 )
+from repro.runtime.parallel import ParallelMapper
 from repro.runtime.faults import (
     DocumentFailure,
     ErrorPolicy,
@@ -49,6 +53,7 @@ __all__ = [
     "CorpusResult",
     "DiscoveryResult",
     "EngineRun",
+    "ParallelMapper",
     "PathAccumulator",
     "DocumentFailure",
     "ErrorPolicy",

@@ -1,0 +1,126 @@
+"""Generic chunked process-pool map with in-order merge.
+
+:class:`ParallelMapper` extracts the transport pattern of
+:class:`~repro.runtime.engine.CorpusEngine` -- chunk the work, build
+expensive per-worker state exactly once in a pool initializer, merge
+results back **in item order** under a bounded backpressure window --
+for workloads that are not HTML conversion.  The first consumer is
+parallel repository migration (:mod:`repro.mapping.versioned`), where
+the per-worker state is a parsed DTD and the work function replays the
+tree-edit mapping layer against it.
+
+The work function and state factory must be module-level callables
+(they cross the process boundary by reference).  ``max_workers=1`` runs
+inline in the calling process -- no pool, no pickling -- which is the
+degenerate case differential tests use, exactly as in the engine.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+# Per-worker state built once by the pool initializer (the engine's
+# per-process converter, generalized).
+_WORKER_STATE: object = None
+_WORKER_FN: Callable | None = None
+
+
+def _init_mapper_worker(
+    state_factory: Callable[..., object] | None,
+    state_args: tuple,
+    work_fn: Callable,
+) -> None:
+    global _WORKER_STATE, _WORKER_FN
+    _WORKER_STATE = (
+        state_factory(*state_args) if state_factory is not None else None
+    )
+    _WORKER_FN = work_fn
+
+
+def _run_mapper_chunk(payload: tuple[int, Sequence]) -> tuple[int, list]:
+    index, items = payload
+    assert _WORKER_FN is not None, "mapper worker initializer did not run"
+    return index, [_WORKER_FN(_WORKER_STATE, item) for item in items]
+
+
+def _chunked(items: Iterable[Item], size: int) -> Iterator[list[Item]]:
+    chunk: list[Item] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class ParallelMapper:
+    """Map ``work_fn(state, item)`` over items, preserving item order.
+
+    ``state_factory(*state_args)`` runs once per worker process and its
+    result is passed as ``state`` to every call; errors raised by the
+    work function propagate to the caller (migration has no skip
+    policy -- a document that cannot be migrated aborts the run).
+    """
+
+    def __init__(
+        self,
+        work_fn: Callable[[object, Item], Result],
+        *,
+        state_factory: Callable[..., object] | None = None,
+        state_args: tuple = (),
+        max_workers: int | None = None,
+        chunk_size: int = 32,
+        max_pending: int | None = None,
+    ) -> None:
+        self.work_fn = work_fn
+        self.state_factory = state_factory
+        self.state_args = state_args
+        self.max_workers = max_workers
+        self.chunk_size = max(1, chunk_size)
+        self.max_pending = max_pending
+
+    def resolved_workers(self) -> int:
+        if self.max_workers is None:
+            return os.cpu_count() or 1
+        return max(1, self.max_workers)
+
+    def map(self, items: Iterable[Item]) -> Iterator[Result]:
+        """Yield results in item order, chunks streaming as they finish."""
+        workers = self.resolved_workers()
+        if workers == 1:
+            state = (
+                self.state_factory(*self.state_args)
+                if self.state_factory is not None
+                else None
+            )
+            for chunk in _chunked(items, self.chunk_size):
+                for item in chunk:
+                    yield self.work_fn(state, item)
+            return
+        max_pending = (
+            self.max_pending if self.max_pending is not None else 2 * workers
+        )
+        max_pending = max(1, max_pending)
+        pending: deque[Future[tuple[int, list]]] = deque()
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_mapper_worker,
+            initargs=(self.state_factory, self.state_args, self.work_fn),
+        ) as pool:
+            for index, chunk in enumerate(_chunked(items, self.chunk_size)):
+                pending.append(pool.submit(_run_mapper_chunk, (index, chunk)))
+                # Backpressure: drain the oldest chunk (preserving item
+                # order) before submitting past the window.
+                while len(pending) >= max_pending:
+                    _, results = pending.popleft().result()
+                    yield from results
+            while pending:
+                _, results = pending.popleft().result()
+                yield from results

@@ -14,9 +14,20 @@
   upper/lower-bound baselines the paper positions itself against.
 * :mod:`repro.schema.unify` -- unification of similar schema components
   (the optional step deferred to [13]).
+* :mod:`repro.schema.evolution` -- online schema evolution: durable
+  accumulator checkpoints (snapshot + append-only delta log) and the
+  :class:`EvolvingSchema` driver that folds new documents and bumps the
+  schema version only on real change.
 """
 
 from repro.schema.accumulator import PathAccumulator
+from repro.schema.evolution import (
+    AccumulatorCheckpoint,
+    CheckpointCorruption,
+    CheckpointInfo,
+    EvolvingSchema,
+    FoldOutcome,
+)
 from repro.schema.dataguide import build_dataguide
 from repro.schema.dtd import DTD, DTDElement, derive_dtd
 from repro.schema.diff import diff_schemas, schema_stability
@@ -42,6 +53,11 @@ __all__ = [
     "extract_corpus_paths",
     "iter_corpus_paths",
     "PathAccumulator",
+    "AccumulatorCheckpoint",
+    "CheckpointCorruption",
+    "CheckpointInfo",
+    "EvolvingSchema",
+    "FoldOutcome",
     "PathStatistics",
     "FrequentPathSet",
     "mine_frequent_paths",

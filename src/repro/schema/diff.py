@@ -16,6 +16,7 @@ module quantifies how much it moved:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.schema.majority import MajoritySchema
 from repro.schema.paths import LabelPath
@@ -53,6 +54,34 @@ class SchemaDiff:
         )
 
 
+def diff_path_supports(
+    old: Mapping[LabelPath, float],
+    new: Mapping[LabelPath, float],
+    *,
+    drift_threshold: float = 0.1,
+) -> SchemaDiff:
+    """Compare two ``path -> support`` mappings.
+
+    The mapping form is what persistent consumers hold: the evolution
+    state file (:mod:`repro.schema.evolution`) stores each version's
+    paths and supports rather than a live :class:`MajoritySchema`, so
+    the same differ must work across process restarts.
+    """
+    old_paths = set(old)
+    new_paths = set(new)
+    diff = SchemaDiff(
+        added=new_paths - old_paths,
+        removed=old_paths - new_paths,
+        common=old_paths & new_paths,
+    )
+    for path in diff.common:
+        before = old[path]
+        after = new[path]
+        if abs(before - after) >= drift_threshold:
+            diff.support_drift[path] = (before, after)
+    return diff
+
+
 def diff_schemas(
     old: MajoritySchema,
     new: MajoritySchema,
@@ -64,19 +93,11 @@ def diff_schemas(
     ``drift_threshold`` is the minimum absolute support change on a
     shared path to be reported as drift.
     """
-    old_paths = old.paths()
-    new_paths = new.paths()
-    diff = SchemaDiff(
-        added=new_paths - old_paths,
-        removed=old_paths - new_paths,
-        common=old_paths & new_paths,
+    return diff_path_supports(
+        {path: old.frequent.support(path) for path in old.paths()},
+        {path: new.frequent.support(path) for path in new.paths()},
+        drift_threshold=drift_threshold,
     )
-    for path in diff.common:
-        before = old.frequent.support(path)
-        after = new.frequent.support(path)
-        if abs(before - after) >= drift_threshold:
-            diff.support_drift[path] = (before, after)
-    return diff
 
 
 def schema_stability(old: MajoritySchema, new: MajoritySchema) -> float:

@@ -1,0 +1,644 @@
+"""Online schema evolution: durable incremental discovery.
+
+The paper's Section-3 discovery is a batch pass over a corpus; this
+module turns it into a continuously learning system.
+:class:`~repro.schema.accumulator.PathAccumulator` is a mergeable monoid
+with a compact pickle wire form, so the whole discovery state of a
+corpus fits in one small object -- the missing pieces are *durability*
+and *incremental re-derivation*:
+
+* :class:`AccumulatorCheckpoint` -- crash-safe persistence of
+  accumulator state as a **snapshot** file plus an **append-only delta
+  log** (the snapshot+delta pattern DataGuides use for incremental
+  structure summaries).  Every frame is checksummed and sequence
+  numbered; snapshots commit via write-temp + fsync + atomic rename;
+  deltas append with fsync.  A crash mid-append leaves a torn tail that
+  load ignores and the next append truncates; a crash between snapshot
+  commit and log truncation cannot double-count because the snapshot
+  records the sequence watermark it already includes.  The log is
+  compacted into the snapshot once the deltas outweigh it.
+
+* :class:`EvolvingSchema` -- the online discovery driver: fold the
+  accumulator of newly converted documents in (no corpus re-scan),
+  re-run frequent-path mining + DTD derivation over the merged
+  statistics, and bump the schema version **only when the derived
+  schema actually changed** (:func:`repro.schema.diff.diff_path_supports`
+  reports a path-set change, or the rendered DTD text moved -- a
+  multiplicity flip is a real change even when the path set is stable,
+  because stored documents must re-conform).
+
+Both halves are deliberately independent: a checkpoint directory can be
+used on its own (``convert-corpus --checkpoint-dir``) for sharded
+merge-later workflows, and :class:`EvolvingSchema` embeds one inside
+its state directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.schema.accumulator import PathAccumulator
+from repro.schema.diff import SchemaDiff, diff_path_supports
+from repro.schema.dtd import DTD, derive_dtd
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.majority import MajoritySchema
+from repro.schema.paths import LabelPath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.concepts.knowledge import KnowledgeBase
+    from repro.obs.metrics import MetricsRegistry
+
+# -- file names inside a checkpoint / evolution state directory ---------------
+
+SNAPSHOT_NAME = "snapshot.bin"
+DELTA_LOG_NAME = "deltas.log"
+CHECKPOINT_META_NAME = "checkpoint.json"
+STATE_NAME = "state.json"
+CURRENT_DTD_NAME = "current.dtd"
+DTD_DIR_NAME = "dtds"
+
+STATE_FORMAT = "repro-evolution/1"
+
+# -- metric names (registered only when a registry is supplied) ---------------
+
+EVOLUTION_FOLDS = "repro_evolution_folds_total"
+EVOLUTION_DOCUMENTS = "repro_evolution_documents_total"
+VERSION_BUMPS = "repro_schema_version_bumps_total"
+SCHEMA_VERSION = "repro_schema_version"
+
+# -- frame format -------------------------------------------------------------
+#
+#   frame := magic(4) | sequence(>Q) | length(>Q) | crc32(>I) | payload
+#
+# ``payload`` is the accumulator pickled through its compact wire form.
+# The same frame shape is used for the snapshot file (exactly one frame,
+# whose sequence is the watermark: the highest delta sequence the
+# snapshot already includes) and for the delta log (one frame per fold,
+# sequence strictly increasing).
+
+_MAGIC = b"RPCK"
+_HEADER = struct.Struct(">4sQQI")
+
+
+class CheckpointCorruption(ValueError):
+    """A checkpoint file is damaged beyond what a crash can explain.
+
+    Torn *tails* (a crash mid-append) are expected and recovered from
+    silently; a bad checksum followed by further valid data, or a
+    mangled snapshot, is real corruption and refuses to load.
+    """
+
+
+def _encode_frame(sequence: int, accumulator: PathAccumulator) -> bytes:
+    payload = pickle.dumps(accumulator, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        _HEADER.pack(_MAGIC, sequence, len(payload), zlib.crc32(payload))
+        + payload
+    )
+
+
+@dataclass
+class _Frame:
+    sequence: int
+    accumulator: PathAccumulator
+    end_offset: int
+
+
+def _scan_frames(data: bytes, *, where: str) -> tuple[list[_Frame], int]:
+    """Parse concatenated frames; returns (frames, valid_byte_count).
+
+    An incomplete trailing frame (short header or short payload) is a
+    crash artifact: scanning stops and the valid byte count excludes it,
+    so the next append can truncate it away.  A checksum or magic
+    mismatch on a *complete* frame is :class:`CheckpointCorruption`.
+    """
+    frames: list[_Frame] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            break  # torn tail: header itself is incomplete
+        magic, sequence, length, crc = _HEADER.unpack_from(data, offset)
+        if magic != _MAGIC:
+            raise CheckpointCorruption(
+                f"{where}: bad frame magic at byte {offset}"
+            )
+        payload_start = offset + _HEADER.size
+        payload_end = payload_start + length
+        if payload_end > total:
+            break  # torn tail: payload was still being written
+        payload = data[payload_start:payload_end]
+        if zlib.crc32(payload) != crc:
+            raise CheckpointCorruption(
+                f"{where}: checksum mismatch in frame at byte {offset}"
+            )
+        accumulator = pickle.loads(payload)
+        if not isinstance(accumulator, PathAccumulator):
+            raise CheckpointCorruption(
+                f"{where}: frame at byte {offset} is not an accumulator"
+            )
+        frames.append(_Frame(sequence, accumulator, payload_end))
+        offset = payload_end
+    return frames, offset
+
+
+def _fsync_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` and flush it to stable storage."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (rename durability); best-effort on
+    filesystems that reject directory fsync."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_replace(target: Path, data: bytes) -> None:
+    """Commit ``data`` at ``target`` via write-temp + fsync + rename."""
+    temp = target.with_name(target.name + ".tmp")
+    _fsync_write(temp, data)
+    os.replace(temp, target)
+    _fsync_dir(target.parent)
+
+
+@dataclass
+class CheckpointInfo:
+    """What a checkpoint directory currently holds."""
+
+    sequence: int
+    document_count: int
+    snapshot_documents: int
+    snapshot_bytes: int
+    delta_frames: int
+    delta_bytes: int
+
+    def rows(self) -> list[list[str]]:
+        """Report-table rows (CLI display)."""
+        return [
+            ["documents", str(self.document_count)],
+            ["sequence", str(self.sequence)],
+            ["snapshot documents", str(self.snapshot_documents)],
+            ["snapshot bytes", str(self.snapshot_bytes)],
+            ["delta frames", str(self.delta_frames)],
+            ["delta bytes", str(self.delta_bytes)],
+        ]
+
+
+class AccumulatorCheckpoint:
+    """Durable snapshot + append-only delta log for an accumulator.
+
+    ``compaction_ratio`` controls when :meth:`maybe_compact` folds the
+    log into the snapshot: once ``delta_bytes >= ratio * snapshot_bytes``
+    (default 1.0 -- "deltas outweigh the snapshot").
+    """
+
+    def __init__(
+        self, directory: str | Path, *, compaction_ratio: float = 1.0
+    ) -> None:
+        self.directory = Path(directory)
+        self.compaction_ratio = compaction_ratio
+        self._live: PathAccumulator | None = None
+        self._sequence = 0  # highest sequence on disk (snapshot or delta)
+        self._snapshot_documents = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / SNAPSHOT_NAME
+
+    @property
+    def delta_log_path(self) -> Path:
+        return self.directory / DELTA_LOG_NAME
+
+    def exists(self) -> bool:
+        """True when the directory holds any checkpoint state."""
+        return self.snapshot_path.exists() or self.delta_log_path.exists()
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self) -> PathAccumulator:
+        """Restore the accumulated state: snapshot + undigested deltas.
+
+        The result is cached as the live accumulator that subsequent
+        :meth:`append_delta` calls keep up to date, so repeated loads
+        don't re-read the directory.
+        """
+        if self._live is not None:
+            return self._live
+        accumulator = PathAccumulator()
+        watermark = 0
+        if self.snapshot_path.exists():
+            frames, valid = _scan_frames(
+                self.snapshot_path.read_bytes(), where=str(self.snapshot_path)
+            )
+            if not frames:
+                raise CheckpointCorruption(
+                    f"{self.snapshot_path}: snapshot holds no complete frame"
+                )
+            snapshot = frames[0]
+            watermark = snapshot.sequence
+            accumulator = snapshot.accumulator
+        self._snapshot_documents = accumulator.document_count
+        self._sequence = watermark
+        if self.delta_log_path.exists():
+            frames, valid = _scan_frames(
+                self.delta_log_path.read_bytes(), where=str(self.delta_log_path)
+            )
+            for frame in frames:
+                # Frames at or below the watermark are already folded
+                # into the snapshot (a crash interrupted compaction
+                # between snapshot commit and log truncation).
+                if frame.sequence > watermark:
+                    accumulator.update(frame.accumulator)
+                    self._sequence = frame.sequence
+        self._live = accumulator
+        return accumulator
+
+    # -- writing -------------------------------------------------------------
+
+    def commit_snapshot(
+        self, accumulator: PathAccumulator, *, sequence: int | None = None
+    ) -> None:
+        """Atomically replace the snapshot with ``accumulator``.
+
+        After the rename commits, the delta log is truncated; if the
+        process dies in between, load skips the stale frames via the
+        snapshot's sequence watermark, so the truncation is safe to run
+        lazily at any later point.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if sequence is None:
+            sequence = self._sequence
+        _atomic_replace(self.snapshot_path, _encode_frame(sequence, accumulator))
+        _fsync_write(self.delta_log_path, b"")
+        self._live = accumulator
+        self._sequence = sequence
+        self._snapshot_documents = accumulator.document_count
+        self._write_meta()
+
+    def append_delta(self, delta: PathAccumulator) -> int:
+        """Durably append one delta; returns its sequence number.
+
+        Any torn tail left by an earlier crash is truncated away first
+        (load already ignores it, but appending after it would orphan
+        the new frame).
+        """
+        accumulated = self.load()  # establishes _sequence and truncation point
+        self.directory.mkdir(parents=True, exist_ok=True)
+        valid_bytes = 0
+        if self.delta_log_path.exists():
+            _, valid_bytes = _scan_frames(
+                self.delta_log_path.read_bytes(), where=str(self.delta_log_path)
+            )
+        self._sequence += 1
+        frame = _encode_frame(self._sequence, delta)
+        with open(self.delta_log_path, "ab") as handle:
+            if handle.tell() > valid_bytes:
+                handle.truncate(valid_bytes)
+                handle.seek(valid_bytes)
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if accumulated is not delta:
+            accumulated.update(delta)
+        self._write_meta()
+        return self._sequence
+
+    def maybe_compact(self) -> bool:
+        """Fold the delta log into the snapshot when it has outgrown it.
+
+        Returns True when a compaction ran.
+        """
+        info = self.info()
+        if info.delta_frames == 0:
+            return False
+        threshold = self.compaction_ratio * max(info.snapshot_bytes, 1)
+        if info.delta_bytes < threshold:
+            return False
+        self.commit_snapshot(self.load(), sequence=self._sequence)
+        return True
+
+    # -- inspection ----------------------------------------------------------
+
+    def info(self) -> CheckpointInfo:
+        """Sizes and counts of the on-disk state (live state loaded)."""
+        accumulated = self.load()
+        snapshot_bytes = (
+            self.snapshot_path.stat().st_size if self.snapshot_path.exists() else 0
+        )
+        delta_frames = 0
+        delta_bytes = 0
+        if self.delta_log_path.exists():
+            frames, valid = _scan_frames(
+                self.delta_log_path.read_bytes(), where=str(self.delta_log_path)
+            )
+            delta_frames = sum(1 for f in frames if f.sequence > 0)
+            delta_bytes = valid
+        return CheckpointInfo(
+            sequence=self._sequence,
+            document_count=accumulated.document_count,
+            snapshot_documents=self._snapshot_documents,
+            snapshot_bytes=snapshot_bytes,
+            delta_frames=delta_frames,
+            delta_bytes=delta_bytes,
+        )
+
+    def _write_meta(self) -> None:
+        """Informational sidecar (never load-bearing for recovery)."""
+        meta = {
+            "format": "repro-accumulator-checkpoint/1",
+            "sequence": self._sequence,
+            "documents": (
+                self._live.document_count if self._live is not None else 0
+            ),
+        }
+        _atomic_replace(
+            self.directory / CHECKPOINT_META_NAME,
+            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+
+# -- the online discovery driver ----------------------------------------------
+
+
+@dataclass
+class FoldOutcome:
+    """What one :meth:`EvolvingSchema.fold` did."""
+
+    documents_folded: int
+    total_documents: int
+    version: int
+    bumped: bool
+    derived: bool
+    diff: SchemaDiff | None = None
+    dtd: DTD | None = None
+    compacted: bool = False
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if not self.derived:
+            return (
+                f"folded {self.documents_folded} documents "
+                f"({self.total_documents} total); no schema derivable yet"
+            )
+        verb = (
+            f"version bumped to {self.version}"
+            if self.bumped
+            else f"version unchanged at {self.version}"
+        )
+        delta = f" ({self.diff.summary()})" if self.diff is not None else ""
+        return (
+            f"folded {self.documents_folded} documents "
+            f"({self.total_documents} total); {verb}{delta}"
+        )
+
+
+class EvolvingSchema:
+    """Durable online schema discovery over an unbounded stream.
+
+    A state directory holds an :class:`AccumulatorCheckpoint`, the
+    current schema version with its rendered DTD (``current.dtd`` plus
+    one ``dtds/vNNNN.dtd`` per version for audit/rollback), and the
+    mining thresholds, so folds from separate processes continue one
+    coherent evolution.  Thresholds are fixed at ``init`` time and
+    re-read from the state file afterwards -- changing them would make
+    version bumps meaningless.
+
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets
+    fold/document/version-bump counters and a schema-version gauge.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        kb: "KnowledgeBase",
+        *,
+        sup_threshold: float = 0.4,
+        ratio_threshold: float = 0.0,
+        optional_threshold: float | None = None,
+        compaction_ratio: float = 1.0,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.kb = kb
+        self.registry = registry
+        self.checkpoint = AccumulatorCheckpoint(
+            self.directory, compaction_ratio=compaction_ratio
+        )
+        self.version = 0
+        self.sup_threshold = sup_threshold
+        self.ratio_threshold = ratio_threshold
+        self.optional_threshold = optional_threshold
+        self._dtd_text = ""
+        self._root_name = ""
+        self._schema_supports: dict[LabelPath, float] = {}
+        self._history: list[dict] = []
+        if self.state_path.exists():
+            self._load_state()
+
+    # -- state file ----------------------------------------------------------
+
+    @property
+    def state_path(self) -> Path:
+        return self.directory / STATE_NAME
+
+    @property
+    def current_dtd_path(self) -> Path:
+        return self.directory / CURRENT_DTD_NAME
+
+    def exists(self) -> bool:
+        return self.state_path.exists()
+
+    def _load_state(self) -> None:
+        state = json.loads(self.state_path.read_text(encoding="utf-8"))
+        if state.get("format") != STATE_FORMAT:
+            raise ValueError(
+                f"unrecognized evolution state format in {self.state_path}"
+            )
+        self.version = state["version"]
+        thresholds = state["thresholds"]
+        self.sup_threshold = thresholds["sup"]
+        self.ratio_threshold = thresholds["ratio"]
+        self.optional_threshold = thresholds["optional"]
+        self._dtd_text = state.get("dtd", "")
+        self._root_name = state.get("root_name", "")
+        self._schema_supports = {
+            tuple(entry[:-1]): entry[-1]
+            for entry in state.get("schema_paths", [])
+        }
+        self._history = state.get("history", [])
+
+    def save_state(self) -> None:
+        """Atomically persist version, thresholds, schema, and history."""
+        state = {
+            "format": STATE_FORMAT,
+            "version": self.version,
+            "thresholds": {
+                "sup": self.sup_threshold,
+                "ratio": self.ratio_threshold,
+                "optional": self.optional_threshold,
+            },
+            "dtd": self._dtd_text,
+            "root_name": self._root_name,
+            "schema_paths": [
+                [*path, support]
+                for path, support in sorted(self._schema_supports.items())
+            ],
+            "history": self._history,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        _atomic_replace(
+            self.state_path,
+            (json.dumps(state, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        if self._dtd_text:
+            _atomic_replace(
+                self.current_dtd_path, (self._dtd_text + "\n").encode("utf-8")
+            )
+
+    # -- current schema ------------------------------------------------------
+
+    @property
+    def dtd(self) -> DTD | None:
+        """The current version's DTD (None before the first derivation)."""
+        if not self._dtd_text:
+            return None
+        return DTD.parse(self._dtd_text, root_name=self._root_name or None)
+
+    @property
+    def dtd_text(self) -> str:
+        return self._dtd_text
+
+    @property
+    def history(self) -> list[dict]:
+        """One record per version bump (oldest first)."""
+        return list(self._history)
+
+    def total_documents(self) -> int:
+        return self.checkpoint.load().document_count
+
+    def version_dtd_path(self, version: int) -> Path:
+        return self.directory / DTD_DIR_NAME / f"v{version:04d}.dtd"
+
+    # -- folding -------------------------------------------------------------
+
+    def fold(self, delta: PathAccumulator) -> FoldOutcome:
+        """Fold newly converted documents' statistics in and re-derive.
+
+        The delta is durably appended *before* re-derivation, so a crash
+        between the two leaves the statistics safe and the next fold
+        simply re-derives over them.  The schema version bumps only when
+        the derived schema really changed: the frequent path set moved
+        (``diff.is_identical`` is false) or the rendered DTD text
+        differs (repetition/optionality flips must re-conform stored
+        documents even when the path set is stable).
+        """
+        self.checkpoint.append_delta(delta)
+        accumulated = self.checkpoint.load()
+        outcome = FoldOutcome(
+            documents_folded=delta.document_count,
+            total_documents=accumulated.document_count,
+            version=self.version,
+            bumped=False,
+            derived=False,
+        )
+        derived = self._derive(accumulated)
+        if derived is not None:
+            schema, dtd = derived
+            outcome.derived = True
+            outcome.dtd = dtd
+            new_supports = {
+                path: schema.frequent.support(path) for path in schema.paths()
+            }
+            diff = diff_path_supports(self._schema_supports, new_supports)
+            outcome.diff = diff
+            dtd_text = dtd.render()
+            if not self._dtd_text or not diff.is_identical or dtd_text != self._dtd_text:
+                self.version += 1
+                self._dtd_text = dtd_text
+                self._root_name = dtd.root_name
+                self._schema_supports = new_supports
+                self._history.append(
+                    {
+                        "version": self.version,
+                        "documents": accumulated.document_count,
+                        "paths_added": len(diff.added),
+                        "paths_removed": len(diff.removed),
+                        "summary": diff.summary(),
+                    }
+                )
+                version_path = self.version_dtd_path(self.version)
+                version_path.parent.mkdir(parents=True, exist_ok=True)
+                _atomic_replace(version_path, (dtd_text + "\n").encode("utf-8"))
+                outcome.bumped = True
+            outcome.version = self.version
+        outcome.compacted = self.checkpoint.maybe_compact()
+        self.save_state()
+        self._record_metrics(outcome)
+        return outcome
+
+    def _derive(
+        self, accumulated: PathAccumulator
+    ) -> tuple[MajoritySchema, DTD] | None:
+        """Mining + DTD derivation over the merged statistics; ``None``
+        while nothing clears the thresholds (e.g. an empty stream)."""
+        if accumulated.document_count == 0:
+            return None
+        frequent = mine_frequent_paths(
+            accumulated,
+            sup_threshold=self.sup_threshold,
+            ratio_threshold=self.ratio_threshold,
+            constraints=self.kb.constraints,
+            candidate_labels=self.kb.concept_tags(),
+        )
+        if not frequent.paths:
+            return None
+        schema = MajoritySchema.from_frequent_paths(frequent)
+        dtd = derive_dtd(
+            schema, accumulated, optional_threshold=self.optional_threshold
+        )
+        return schema, dtd
+
+    def _record_metrics(self, outcome: FoldOutcome) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter(EVOLUTION_FOLDS).inc()
+        self.registry.counter(EVOLUTION_DOCUMENTS).inc(outcome.documents_folded)
+        if outcome.bumped:
+            self.registry.counter(VERSION_BUMPS).inc()
+        self.registry.gauge(SCHEMA_VERSION, merge="max").set(self.version)
+
+    # -- reporting -----------------------------------------------------------
+
+    def status_rows(self) -> list[list[str]]:
+        """Report-table rows for ``repro-web evolve status``."""
+        info = self.checkpoint.info()
+        return [
+            ["schema version", str(self.version)],
+            ["thresholds", (
+                f"sup={self.sup_threshold} ratio={self.ratio_threshold} "
+                f"optional={self.optional_threshold}"
+            )],
+            ["version bumps", str(len(self._history))],
+            *info.rows(),
+        ]

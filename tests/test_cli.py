@@ -225,3 +225,115 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "precision" in out
         assert len(list(out_dir.glob("*.xml"))) == 5
+
+
+class TestEvolve:
+    def test_parser_nested_subcommands(self):
+        args = build_parser().parse_args(
+            ["evolve", "fold", "state", "--generate", "5",
+             "--style", "table", "--repository", "repo"]
+        )
+        assert args.evolve_command == "fold"
+        assert args.state == "state"
+        assert args.generate == 5
+        assert args.style == ["table"]
+        assert args.repository == "repo"
+
+    def test_init_then_status(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert main(["evolve", "init", str(state), "--sup", "0.5"]) == 0
+        assert main(["evolve", "init", str(state)]) == 1  # already there
+        assert main(["evolve", "status", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "schema version" in out
+        assert "sup=0.5" in out
+
+    def test_fold_requires_init(self, tmp_path, capsys):
+        assert main(
+            ["evolve", "fold", str(tmp_path / "none"), "--generate", "2"]
+        ) == 1
+
+    def test_fold_without_input_fails(self, tmp_path):
+        state = tmp_path / "state"
+        main(["evolve", "init", str(state)])
+        assert main(["evolve", "fold", str(state)]) == 2
+
+    def test_unknown_style_rejected(self, tmp_path):
+        state = tmp_path / "state"
+        main(["evolve", "init", str(state)])
+        with pytest.raises(SystemExit):
+            main(["evolve", "fold", str(state), "--generate", "2",
+                  "--style", "no-such-style"])
+
+    def test_fold_publish_rollback_cycle(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        repo = tmp_path / "repo"
+        ledger = tmp_path / "runs.jsonl"
+        main(["evolve", "init", str(state)])
+        assert main(
+            ["evolve", "fold", str(state), "--generate", "6",
+             "--seed", "5", "--max-workers", "1",
+             "--repository", str(repo), "--runlog", str(ledger)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "version bumped to 1" in out
+        assert "published repository version v0001" in out
+        # Refolding the same corpus: no bump, but a new repository
+        # version is still published with the extra documents.
+        assert main(
+            ["evolve", "fold", str(state), "--generate", "6",
+             "--seed", "5", "--max-workers", "1",
+             "--repository", str(repo)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "version unchanged at 1" in out
+        assert main(["evolve", "rollback", "--repository", str(repo)]) == 0
+        assert "v0001" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in ledger.read_text().splitlines() if line
+        ]
+        assert records[0]["kind"] == "evolution"
+        assert records[0]["schema_version"] == 1
+        assert records[0]["bumped"] is True
+
+    def test_rollback_without_history_fails(self, tmp_path, capsys):
+        assert main(
+            ["evolve", "rollback", "--repository", str(tmp_path / "repo")]
+        ) == 1
+
+    def test_migrate_noop_when_current(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        repo = tmp_path / "repo"
+        main(["evolve", "init", str(state)])
+        main(["evolve", "fold", str(state), "--generate", "4",
+              "--max-workers", "1", "--repository", str(repo)])
+        capsys.readouterr()
+        assert main(
+            ["evolve", "migrate", str(state), "--repository", str(repo),
+             "--max-workers", "1"]
+        ) == 0
+        assert "nothing to migrate" in capsys.readouterr().out
+
+    def test_convert_corpus_checkpoint_and_fold_into(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        state = tmp_path / "state"
+        assert main(
+            ["convert-corpus", "--generate", "4", "--max-workers", "1",
+             "--quiet", "--checkpoint-dir", str(ckpt),
+             "--fold-into", str(state)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed delta #1" in out
+        assert "version bumped to 1" in out
+        assert (ckpt / "snapshot.bin").exists()
+        assert (state / "state.json").exists()
+
+    def test_gen_corpus_single_style(self, tmp_path):
+        out = tmp_path / "corpus"
+        assert main(
+            ["gen-corpus", "--count", "3", "--out", str(out),
+             "--style", "table"]
+        ) == 0
+        for page in out.glob("*.html"):
+            assert "<table" in page.read_text().lower()

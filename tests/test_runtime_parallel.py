@@ -1,0 +1,80 @@
+"""Tests for the generic chunked process-pool mapper."""
+
+import pytest
+
+from repro.runtime.parallel import ParallelMapper
+
+
+def square_offset(state, item):
+    offset = state if state is not None else 0
+    return item * item + offset
+
+
+def make_offset(offset):
+    return offset
+
+
+def failing(state, item):
+    if item == 3:
+        raise ValueError("boom")
+    return item
+
+
+class TestInline:
+    def test_maps_in_order(self):
+        mapper = ParallelMapper(square_offset, max_workers=1, chunk_size=2)
+        assert list(mapper.map(range(7))) == [i * i for i in range(7)]
+
+    def test_state_factory_runs_once(self):
+        mapper = ParallelMapper(
+            square_offset,
+            state_factory=make_offset,
+            state_args=(100,),
+            max_workers=1,
+        )
+        assert list(mapper.map([1, 2])) == [101, 104]
+
+    def test_errors_propagate(self):
+        mapper = ParallelMapper(failing, max_workers=1)
+        with pytest.raises(ValueError):
+            list(mapper.map([1, 2, 3]))
+
+    def test_empty_input(self):
+        mapper = ParallelMapper(square_offset, max_workers=1)
+        assert list(mapper.map([])) == []
+
+
+@pytest.mark.slow
+class TestPool:
+    def test_order_preserved_across_workers(self):
+        mapper = ParallelMapper(square_offset, max_workers=2, chunk_size=3)
+        assert list(mapper.map(range(20))) == [i * i for i in range(20)]
+
+    def test_worker_state_built_by_initializer(self):
+        mapper = ParallelMapper(
+            square_offset,
+            state_factory=make_offset,
+            state_args=(1000,),
+            max_workers=2,
+            chunk_size=2,
+        )
+        assert list(mapper.map(range(6))) == [i * i + 1000 for i in range(6)]
+
+    def test_backpressure_window_still_ordered(self):
+        mapper = ParallelMapper(
+            square_offset, max_workers=2, chunk_size=1, max_pending=2
+        )
+        assert list(mapper.map(range(10))) == [i * i for i in range(10)]
+
+    def test_errors_propagate_from_pool(self):
+        mapper = ParallelMapper(failing, max_workers=2, chunk_size=1)
+        with pytest.raises(ValueError):
+            list(mapper.map([1, 2, 3, 4]))
+
+
+def test_resolved_workers_defaults_to_cpus():
+    import os
+
+    mapper = ParallelMapper(square_offset)
+    assert mapper.resolved_workers() == (os.cpu_count() or 1)
+    assert ParallelMapper(square_offset, max_workers=0).resolved_workers() == 1

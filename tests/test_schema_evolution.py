@@ -1,0 +1,334 @@
+"""Tests for durable online schema evolution (checkpoint + driver)."""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.dom.node import Element
+from repro.schema.accumulator import PathAccumulator
+from repro.schema.dtd import derive_dtd
+from repro.schema.evolution import (
+    AccumulatorCheckpoint,
+    CheckpointCorruption,
+    EvolvingSchema,
+    _HEADER,
+)
+from repro.schema.frequent import mine_frequent_paths
+from repro.schema.majority import MajoritySchema
+
+GOLDEN_CHECKPOINT = Path(__file__).parent / "golden" / "checkpoint" / "v1"
+
+
+def tree(tags):
+    """A RESUME tree with the given child chains (e.g. ["CONTACT"])."""
+    root = Element("RESUME")
+    for chain in tags:
+        parent = root
+        for tag in chain.split("/"):
+            parent = parent.append_child(Element(tag))
+    return root
+
+
+def golden_trees():
+    """The fixed corpus the committed golden checkpoint was built from."""
+    return [
+        tree(["CONTACT", "EDUCATION/DEGREE"]),
+        tree(["CONTACT", "EDUCATION/DEGREE", "EDUCATION/DATE"]),
+        tree(["CONTACT", "SKILLS"]),
+    ]
+
+
+def accumulate(trees):
+    return PathAccumulator.from_trees(trees)
+
+
+class TestCheckpointRoundTrip:
+    def test_append_and_reload(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        trees = golden_trees()
+        checkpoint.append_delta(accumulate(trees[:2]))
+        checkpoint.append_delta(accumulate(trees[2:]))
+        reloaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert reloaded == accumulate(trees)
+
+    def test_snapshot_plus_deltas(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        trees = golden_trees()
+        checkpoint.append_delta(accumulate(trees[:1]))
+        checkpoint.commit_snapshot(checkpoint.load())
+        checkpoint.append_delta(accumulate(trees[1:]))
+        reloaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert reloaded == accumulate(trees)
+
+    def test_load_is_cached_and_kept_live(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        trees = golden_trees()
+        live = checkpoint.load()
+        assert live.document_count == 0
+        checkpoint.append_delta(accumulate(trees))
+        assert live.document_count == 3
+        assert checkpoint.load() is live
+
+    def test_compaction_folds_log_into_snapshot(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(
+            tmp_path / "ckpt", compaction_ratio=0.5
+        )
+        trees = golden_trees()
+        checkpoint.append_delta(accumulate(trees[:2]))
+        assert checkpoint.maybe_compact()
+        assert checkpoint.delta_log_path.read_bytes() == b""
+        checkpoint.append_delta(accumulate(trees[2:]))
+        reloaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert reloaded == accumulate(trees)
+
+    def test_no_compaction_below_threshold(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(
+            tmp_path / "ckpt", compaction_ratio=100.0
+        )
+        checkpoint.append_delta(accumulate(golden_trees()[:1]))
+        checkpoint.commit_snapshot(checkpoint.load())
+        checkpoint.append_delta(accumulate(golden_trees()[1:2]))
+        assert not checkpoint.maybe_compact()
+        assert checkpoint.delta_log_path.stat().st_size > 0
+
+
+class TestCrashRecovery:
+    def test_torn_tail_is_recovered_silently(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        trees = golden_trees()
+        checkpoint.append_delta(accumulate(trees[:1]))
+        checkpoint.append_delta(accumulate(trees[1:]))
+        log = checkpoint.delta_log_path
+        data = log.read_bytes()
+        # Tear the last frame mid-payload (crash during append).
+        log.write_bytes(data[: len(data) - 7])
+        reloaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert reloaded == accumulate(trees[:1])
+
+    def test_append_after_torn_tail_truncates_it(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        trees = golden_trees()
+        checkpoint.append_delta(accumulate(trees[:1]))
+        log = checkpoint.delta_log_path
+        data = log.read_bytes()
+        log.write_bytes(data + b"\x00" * 5)  # torn header fragment
+        fresh = AccumulatorCheckpoint(tmp_path / "ckpt")
+        fresh.append_delta(accumulate(trees[1:]))
+        reloaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert reloaded == accumulate(trees)
+
+    def test_corrupt_payload_raises(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        checkpoint.append_delta(accumulate(golden_trees()))
+        log = checkpoint.delta_log_path
+        data = bytearray(log.read_bytes())
+        # Flip one payload byte of a *complete* frame: real corruption,
+        # not a crash artifact.
+        data[_HEADER.size + 3] ^= 0xFF
+        log.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruption):
+            AccumulatorCheckpoint(tmp_path / "ckpt").load()
+
+    def test_bad_magic_raises(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        checkpoint.append_delta(accumulate(golden_trees()))
+        log = checkpoint.delta_log_path
+        data = bytearray(log.read_bytes())
+        data[0:4] = b"XXXX"
+        log.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruption):
+            AccumulatorCheckpoint(tmp_path / "ckpt").load()
+
+    def test_watermark_prevents_double_counting(self, tmp_path):
+        """A crash between snapshot commit and log truncation must not
+        fold the already-snapshotted deltas in twice."""
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        trees = golden_trees()
+        checkpoint.append_delta(accumulate(trees[:2]))
+        stale_log = checkpoint.delta_log_path.read_bytes()
+        checkpoint.commit_snapshot(checkpoint.load())
+        # Simulate the crash: the snapshot committed but the log
+        # truncation never happened.
+        checkpoint.delta_log_path.write_bytes(stale_log)
+        reloaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert reloaded.document_count == 2
+        assert reloaded == accumulate(trees[:2])
+
+    def test_recovery_after_simulated_crash_continues_sequence(self, tmp_path):
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        trees = golden_trees()
+        checkpoint.append_delta(accumulate(trees[:2]))
+        stale_log = checkpoint.delta_log_path.read_bytes()
+        checkpoint.commit_snapshot(checkpoint.load())
+        checkpoint.delta_log_path.write_bytes(stale_log)
+        survivor = AccumulatorCheckpoint(tmp_path / "ckpt")
+        survivor.append_delta(accumulate(trees[2:]))
+        reloaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert reloaded == accumulate(trees)
+
+
+class TestGoldenWireFormat:
+    """The committed v1 checkpoint must stay loadable forever."""
+
+    def test_golden_checkpoint_loads(self, tmp_path):
+        assert GOLDEN_CHECKPOINT.exists(), "golden checkpoint fixture missing"
+        shutil.copytree(GOLDEN_CHECKPOINT, tmp_path / "ckpt")
+        loaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert loaded == accumulate(golden_trees())
+
+    def test_golden_checkpoint_accepts_new_deltas(self, tmp_path):
+        shutil.copytree(GOLDEN_CHECKPOINT, tmp_path / "ckpt")
+        checkpoint = AccumulatorCheckpoint(tmp_path / "ckpt")
+        checkpoint.append_delta(accumulate([tree(["CONTACT"])]))
+        reloaded = AccumulatorCheckpoint(tmp_path / "ckpt").load()
+        assert reloaded.document_count == 4
+
+
+def derive_batch_dtd(kb, trees, *, sup=0.4):
+    accumulator = accumulate(trees)
+    frequent = mine_frequent_paths(
+        accumulator,
+        sup_threshold=sup,
+        constraints=kb.constraints,
+        candidate_labels=kb.concept_tags(),
+    )
+    schema = MajoritySchema.from_frequent_paths(frequent)
+    return derive_dtd(schema, accumulator).render()
+
+
+class TestEvolvingSchema:
+    @pytest.fixture()
+    def corpus_trees(self, converted_corpus):
+        return [result.root for result in converted_corpus]
+
+    def test_first_fold_bumps_to_version_one(self, tmp_path, kb, corpus_trees):
+        evolving = EvolvingSchema(tmp_path / "state", kb)
+        outcome = evolving.fold(accumulate(corpus_trees))
+        assert outcome.derived
+        assert outcome.bumped
+        assert outcome.version == evolving.version == 1
+        assert evolving.version_dtd_path(1).exists()
+        assert evolving.current_dtd_path.exists()
+
+    def test_split_fold_matches_batch_dtd(self, tmp_path, kb, corpus_trees):
+        """The differential proof: checkpoint -> restore -> fold over a
+        split corpus derives a DTD byte-identical to one batch run."""
+        evolving = EvolvingSchema(tmp_path / "state", kb)
+        evolving.fold(accumulate(corpus_trees[:4]))
+        # Restart from disk between folds (restore path exercised).
+        evolving = EvolvingSchema(tmp_path / "state", kb)
+        evolving.fold(accumulate(corpus_trees[4:7]))
+        evolving = EvolvingSchema(tmp_path / "state", kb)
+        outcome = evolving.fold(accumulate(corpus_trees[7:]))
+        assert evolving.dtd_text == derive_batch_dtd(kb, corpus_trees)
+        assert outcome.total_documents == len(corpus_trees)
+
+    def test_unchanged_refold_does_not_bump(self, tmp_path, kb, corpus_trees):
+        evolving = EvolvingSchema(tmp_path / "state", kb)
+        evolving.fold(accumulate(corpus_trees))
+        version = evolving.version
+        outcome = evolving.fold(accumulate(corpus_trees))
+        assert not outcome.bumped
+        assert evolving.version == version
+        assert len(evolving.history) == 1
+
+    def test_state_survives_restart(self, tmp_path, kb, corpus_trees):
+        evolving = EvolvingSchema(tmp_path / "state", kb, sup_threshold=0.5)
+        evolving.fold(accumulate(corpus_trees))
+        restored = EvolvingSchema(tmp_path / "state", kb)
+        assert restored.version == evolving.version
+        assert restored.dtd_text == evolving.dtd_text
+        assert restored.sup_threshold == 0.5
+        assert restored.dtd is not None
+        assert restored.dtd.render() == evolving.dtd_text
+
+    def test_vocabulary_shift_bumps_exactly_once(self, tmp_path, kb,
+                                                 corpus_trees):
+        evolving = EvolvingSchema(tmp_path / "state", kb)
+        evolving.fold(accumulate(corpus_trees))
+        # A heavy influx of documents with a new sub-structure shifts
+        # the majority: one fold, one bump.
+        shifted = [
+            tree(["CONTACT", "PUBLICATION/TITLE", "PUBLICATION/DATE"])
+            for _ in range(30)
+        ]
+        outcome = evolving.fold(accumulate(shifted))
+        assert outcome.bumped
+        assert evolving.version == 2
+        assert len(evolving.history) == 2
+
+    def test_empty_fold_reports_underived(self, tmp_path, kb):
+        evolving = EvolvingSchema(tmp_path / "state", kb)
+        outcome = evolving.fold(PathAccumulator())
+        assert not outcome.derived
+        assert not outcome.bumped
+        assert evolving.version == 0
+        assert "no schema derivable" in outcome.summary()
+
+    def test_metrics_recorded(self, tmp_path, kb, corpus_trees):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.schema.evolution import (
+            EVOLUTION_DOCUMENTS,
+            EVOLUTION_FOLDS,
+            SCHEMA_VERSION,
+            VERSION_BUMPS,
+        )
+
+        registry = MetricsRegistry()
+        evolving = EvolvingSchema(tmp_path / "state", kb, registry=registry)
+        evolving.fold(accumulate(corpus_trees))
+        evolving.fold(accumulate(corpus_trees))
+        assert registry.counter(EVOLUTION_FOLDS).value == 2
+        assert registry.counter(EVOLUTION_DOCUMENTS).value == 2 * len(
+            corpus_trees
+        )
+        assert registry.counter(VERSION_BUMPS).value == 1
+        assert registry.gauge(SCHEMA_VERSION, merge="max").value == 1
+
+    def test_status_rows_render(self, tmp_path, kb, corpus_trees):
+        evolving = EvolvingSchema(tmp_path / "state", kb)
+        evolving.fold(accumulate(corpus_trees))
+        rows = dict(
+            (row[0], row[1]) for row in evolving.status_rows()
+        )
+        assert rows["schema version"] == "1"
+        assert rows["documents"] == str(len(corpus_trees))
+
+
+@pytest.mark.parametrize(
+    "workers",
+    [1, pytest.param(2, marks=pytest.mark.slow),
+     pytest.param(4, marks=pytest.mark.slow)],
+)
+def test_engine_fold_differential(tmp_path, kb, workers):
+    """Engine-converted split folds equal one batch engine run's DTD,
+    at every worker count (the acceptance differential proof)."""
+    from repro.corpus.generator import ResumeCorpusGenerator
+    from repro.runtime.engine import CorpusEngine, EngineConfig
+
+    sources = ResumeCorpusGenerator(seed=11).generate_html(10)
+    engine = CorpusEngine(
+        kb, engine_config=EngineConfig(max_workers=workers, chunk_size=3)
+    )
+    evolving = EvolvingSchema(tmp_path / "state", kb)
+    for part in (sources[:5], sources[5:]):
+        run = engine.run(part, discover=False)
+        evolving.fold(run.corpus.accumulator)
+    batch = engine.run(sources, discover=False).corpus.accumulator
+    frequent = mine_frequent_paths(
+        batch,
+        sup_threshold=evolving.sup_threshold,
+        constraints=kb.constraints,
+        candidate_labels=kb.concept_tags(),
+    )
+    schema = MajoritySchema.from_frequent_paths(frequent)
+    assert evolving.dtd_text == derive_dtd(schema, batch).render()
+    # Integer statistics agree exactly; float position sums may
+    # re-associate across chunk boundaries.
+    restored = AccumulatorCheckpoint(tmp_path / "state").load()
+    assert restored.document_count == batch.document_count
+    assert restored.doc_frequency == batch.doc_frequency
+    assert restored.multiplicity_docs == batch.multiplicity_docs
+    for path, value in batch.position_sum.items():
+        assert restored.position_sum[path] == pytest.approx(value)
