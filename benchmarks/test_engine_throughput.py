@@ -11,8 +11,10 @@ speed, so only equivalence is asserted there.
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.corpus.generator import ResumeCorpusGenerator
 from repro.evaluation.report import format_table
@@ -20,6 +22,15 @@ from repro.runtime.engine import CorpusEngine, EngineConfig
 
 CORPUS_SIZE = 200
 WORKERS = 4
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+# Scaling gate: on multi-core hardware, 4 workers must move at least as
+# many docs/sec as 1 worker (ratio >= 1.0) -- anything less means the
+# pool is buying coordination overhead, not throughput.  On a single
+# core the pool cannot win by construction, so the gate only demands
+# the overhead stays bounded.
+MIN_SCALE_RATIO_MULTI_CORE = 1.0
+MIN_SCALE_RATIO_SINGLE_CORE = 0.8
 
 
 def test_engine_throughput_serial_vs_parallel(benchmark, kb, converter, capsys):
@@ -86,6 +97,93 @@ def test_engine_throughput_serial_vs_parallel(benchmark, kb, converter, capsys):
             f"parallel engine slower than serial on {cpus} CPUs: "
             f"{parallel_dps:.1f} vs {serial_dps:.1f} docs/sec"
         )
+
+
+def test_engine_scaling_efficiency(benchmark, kb, capsys):
+    """Scaling regression gate: docs/sec must not *fall* as workers are
+    added, with adaptive chunk sizing on (the engine's default).
+
+    Writes a ``scaling`` section into BENCH_engine.json -- keys carry
+    the ``_per_sec``/``ratio`` suffixes :func:`bench_regressions`
+    flags, so a future change that quietly un-scales the engine shows
+    up in the run ledger's regression report, not just in this gate.
+    """
+    html = ResumeCorpusGenerator(seed=1966).generate_html(CORPUS_SIZE)
+
+    def run(workers: int):
+        engine = CorpusEngine(
+            kb, engine_config=EngineConfig(max_workers=workers)
+        )
+        return engine.convert_corpus(html)
+
+    single = run(1)
+    multi = benchmark.pedantic(lambda: run(WORKERS), rounds=1, iterations=1)
+    assert multi.xml_documents == single.xml_documents
+
+    ratio = (
+        multi.stats.docs_per_second / single.stats.docs_per_second
+        if single.stats.docs_per_second
+        else 0.0
+    )
+    scaling = {
+        "corpus_documents": CORPUS_SIZE,
+        "adaptive_chunking": True,
+        "workers": {
+            str(workers): {
+                "docs_per_sec": round(stats.docs_per_second, 1),
+                "docs_per_sec_per_worker": round(
+                    stats.docs_per_second_per_worker, 1
+                ),
+                "chunk_overhead_fraction": round(
+                    stats.chunk_overhead_fraction, 3
+                ),
+            }
+            for workers, stats in ((1, single.stats), (WORKERS, multi.stats))
+        },
+        f"scale_ratio_{WORKERS}_over_1": round(ratio, 3),
+    }
+    record = {}
+    if BENCH_PATH.exists():
+        try:
+            record = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            record = {}
+    record["scaling"] = scaling
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["workers", "docs/sec", "docs/sec/worker", "chunk overhead"],
+                [
+                    [
+                        str(workers),
+                        f"{stats.docs_per_second:.1f}",
+                        f"{stats.docs_per_second_per_worker:.1f}",
+                        f"{stats.chunk_overhead_fraction:.0%}",
+                    ]
+                    for workers, stats in (
+                        (1, single.stats),
+                        (WORKERS, multi.stats),
+                    )
+                ],
+                title=f"[engine] scaling efficiency, {CORPUS_SIZE}-doc corpus, "
+                f"adaptive chunks ({os.cpu_count()} CPUs)",
+            )
+        )
+        print(f"  {WORKERS}-worker/1-worker ratio: {ratio:.2f}x")
+
+    floor = (
+        MIN_SCALE_RATIO_MULTI_CORE
+        if (os.cpu_count() or 1) >= 2
+        else MIN_SCALE_RATIO_SINGLE_CORE
+    )
+    assert ratio >= floor, (
+        f"adding workers lost throughput: {WORKERS}-worker engine at "
+        f"{multi.stats.docs_per_second:.1f} docs/sec vs 1-worker "
+        f"{single.stats.docs_per_second:.1f} (ratio {ratio:.2f} < {floor})"
+    )
 
 
 def test_tracing_overhead(benchmark, kb, capsys):

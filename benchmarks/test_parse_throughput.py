@@ -37,12 +37,16 @@ from random import Random
 
 from repro.convert.config import ConversionConfig
 from repro.corpus.generator import ResumeCorpusGenerator
+from repro.dom.treeops import clone, deep_equal
 from repro.evaluation.report import format_table
+from repro.htmlparse.parser import parse_html
+from repro.htmlparse.tidy import tidy
 from repro.htmlparse.tokenizer import _tokenize_fast, _tokenize_legacy
 from repro.runtime.engine import CorpusEngine, EngineConfig
 
 SEED = 1966
 TOKENIZER_ROUNDS = 12
+TIDY_ROUNDS = 5
 E2E_CORPUS_SIZE = 120
 E2E_CHUNK_SIZE = 8
 WORKER_COUNTS = [1, 2, 4]
@@ -52,6 +56,26 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 MIN_DIRECTORY_SPEEDUP = 4.0
 MIN_AGGREGATE_SPEEDUP = 2.0
 MIN_E2E_RATIO_AT_4_WORKERS = 0.9
+# The single-snapshot cleanser measured 5.3x over the six-traversal
+# legacy path on this corpus; a lost fast path lands at 1x.
+MIN_TIDY_SPEEDUP = 3.0
+# PR 6 baseline: the tidy stage cost 0.3539s summed over 4 workers on
+# this corpus.  The fast path must keep it at least 3x under that.
+MAX_TIDY_STAGE_SECONDS = 0.3539 / 3.0
+
+
+def _write_bench(record: dict) -> None:
+    """Write ``record`` to BENCH_engine.json, preserving sections other
+    benchmark files own (the engine scaling gate read-modify-writes its
+    own section into the same file)."""
+    if BENCH_PATH.exists():
+        try:
+            previous = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            previous = {}
+        for key, value in previous.items():
+            record.setdefault(key, value)
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
 
 # -- corpus profiles ----------------------------------------------------------
@@ -151,6 +175,26 @@ def _measure_tokenizer(docs: list[str]) -> tuple[float, float, int]:
     return legacy_best, fast_best, chars
 
 
+def _measure_tidy(docs: list[str]) -> tuple[float, float]:
+    """Best-of-``TIDY_ROUNDS`` interleaved cleanser pass times
+    (legacy, fast) over pre-parsed trees (each round tidies fresh
+    clones, so both paths see identical malformed input)."""
+    trees = [parse_html(doc) for doc in docs]
+    legacy_best = fast_best = float("inf")
+    for _ in range(TIDY_ROUNDS):
+        batch = [clone(tree) for tree in trees]
+        started = time.perf_counter()
+        for tree in batch:
+            tidy(tree, fast=False)
+        legacy_best = min(legacy_best, time.perf_counter() - started)
+        batch = [clone(tree) for tree in trees]
+        started = time.perf_counter()
+        for tree in batch:
+            tidy(tree, fast=True)
+        fast_best = min(fast_best, time.perf_counter() - started)
+    return legacy_best, fast_best
+
+
 def _engine_docs_per_sec(kb, html: list[str], *, fast: bool, workers: int):
     engine = CorpusEngine(
         kb,
@@ -198,6 +242,15 @@ def test_parse_throughput(benchmark, kb, capsys):
     # End-to-end: the same corpus through the engine with the fast parser
     # on vs off, at each worker count.
     e2e_html = ResumeCorpusGenerator(seed=SEED).generate_html(E2E_CORPUS_SIZE)
+
+    # Tidy stage: the single-snapshot cleanser vs the six-traversal
+    # legacy path, equivalence re-checked at benchmark scale first.
+    for doc in e2e_html[:5]:
+        assert deep_equal(
+            tidy(parse_html(doc), fast=True), tidy(parse_html(doc), fast=False)
+        )
+    tidy_legacy_seconds, tidy_fast_seconds = _measure_tidy(e2e_html)
+    tidy_speedup = tidy_legacy_seconds / tidy_fast_seconds
     engine_rows: dict[str, dict] = {}
     last_fast_result = None
     for workers in WORKER_COUNTS:
@@ -241,8 +294,28 @@ def test_parse_throughput(benchmark, kb, capsys):
         pickle.dumps(dict(accumulator.__dict__), protocol=pickle.HIGHEST_PROTOCOL)
     )
 
+    # ChunkStats wire form: same treatment, measured on a real chunk
+    # from the 4-worker run (digests, rule timings, slowest docs and
+    # all) -- wire tuple vs pre-PR dataclass dict state.
+    sample_chunk = max(
+        last_fast_result.stats.per_chunk, key=lambda c: c.documents
+    )
+    chunk_wire_bytes = len(
+        pickle.dumps(sample_chunk, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    chunk_dict_bytes = len(
+        pickle.dumps(dict(sample_chunk.__dict__), protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
     record = {
         "tokenizer": tokenizer,
+        "tidy": {
+            "documents": E2E_CORPUS_SIZE,
+            "legacy_seconds": round(tidy_legacy_seconds, 4),
+            "fast_seconds": round(tidy_fast_seconds, 4),
+            "speedup": round(tidy_speedup, 2),
+            "stage_seconds_at_4_workers": stage_seconds.get("tidy", 0.0),
+        },
         "engine": {
             "corpus_documents": E2E_CORPUS_SIZE,
             "chunk_size": E2E_CHUNK_SIZE,
@@ -254,8 +327,13 @@ def test_parse_throughput(benchmark, kb, capsys):
             "dict_state_bytes": dict_bytes,
             "savings": round(1.0 - wire_bytes / dict_bytes, 3),
         },
+        "chunkstats_wire": {
+            "wire_bytes": chunk_wire_bytes,
+            "dict_state_bytes": chunk_dict_bytes,
+            "savings": round(1.0 - chunk_wire_bytes / chunk_dict_bytes, 3),
+        },
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    _write_bench(record)
 
     with capsys.disabled():
         print()
@@ -292,8 +370,16 @@ def test_parse_throughput(benchmark, kb, capsys):
             )
         )
         print(
+            f"  tidy ({E2E_CORPUS_SIZE} docs, best of {TIDY_ROUNDS}): "
+            f"legacy {tidy_legacy_seconds * 1e3:.1f}ms, "
+            f"fast {tidy_fast_seconds * 1e3:.1f}ms "
+            f"({tidy_speedup:.2f}x)"
+        )
+        print(
             f"  accumulator wire: {wire_bytes} bytes "
-            f"({record['accumulator_wire']['savings']:.0%} under dict state) "
+            f"({record['accumulator_wire']['savings']:.0%} under dict state); "
+            f"chunkstats wire: {chunk_wire_bytes} bytes "
+            f"({record['chunkstats_wire']['savings']:.0%} under dict state) "
             f"-> {BENCH_PATH.name}"
         )
 
@@ -314,4 +400,17 @@ def test_parse_throughput(benchmark, kb, capsys):
     assert wire_bytes < dict_bytes, (
         f"accumulator wire form larger than dict state: "
         f"{wire_bytes} >= {dict_bytes} bytes"
+    )
+    assert tidy_speedup >= MIN_TIDY_SPEEDUP, (
+        f"tidy fast path below the {MIN_TIDY_SPEEDUP}x bar: "
+        f"{tidy_speedup:.2f}x"
+    )
+    tidy_stage = stage_seconds.get("tidy", 0.0)
+    assert tidy_stage <= MAX_TIDY_STAGE_SECONDS, (
+        f"engine tidy stage regressed past the PR 6 baseline band: "
+        f"{tidy_stage:.4f}s > {MAX_TIDY_STAGE_SECONDS:.4f}s"
+    )
+    assert chunk_wire_bytes < chunk_dict_bytes, (
+        f"ChunkStats wire form larger than dict state: "
+        f"{chunk_wire_bytes} >= {chunk_dict_bytes} bytes"
     )

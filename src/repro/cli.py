@@ -95,6 +95,7 @@ def _conversion_config(args: argparse.Namespace) -> "ConversionConfig":
     return ConversionConfig(
         fast_tagger=not args.no_fast_tagger,
         fast_parser=not getattr(args, "no_fast_parser", False),
+        fast_tidy=not getattr(args, "no_fast_tidy", False),
         chaos_fail_marker=getattr(args, "chaos_fail_marker", "") or None,
         chaos_kill_marker=getattr(args, "chaos_kill_marker", "") or None,
     )
@@ -151,7 +152,7 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
         _conversion_config(args),
         engine_config=EngineConfig(
             max_workers=args.max_workers or None,
-            chunk_size=args.chunk_size,
+            chunk_size=args.chunk_size or None,
             error_policy=args.on_error,
             quarantine_dir=args.quarantine_dir,
         ),
@@ -163,9 +164,18 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
     # off; by default it follows whether stderr is a terminal.
     progress_enabled = True if args.progress else (False if args.quiet else None)
     reporter = ProgressReporter(total=len(sources), enabled=progress_enabled)
+    # XML never rides the chunk pickles home: with --out the workers
+    # write survivor files directly (named by original corpus position,
+    # so failures leave holes, not shifted names); without it nobody
+    # needs the serialized documents at all.
+    if args.files:
+        names = [Path(name).stem for name in args.files]
+    else:
+        names = [f"doc{position:04d}" for position in range(len(sources))]
     run = engine.run(sources, sup_threshold=args.sup, ratio_threshold=args.ratio,
                      discover=args.discover, tracer=tracer, provenance=provenance,
-                     progress=reporter)
+                     progress=reporter, collect_xml=False,
+                     xml_sink=args.out or None, names=names)
     result = run.corpus
     reporter.finish(result.stats)
     if tracer is not None and args.trace_out:
@@ -179,25 +189,7 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
         write_metrics(result.stats.registry, target_name)
         print(f"wrote metrics to {target_name}")
     if args.out:
-        out = Path(args.out)
-        out.mkdir(parents=True, exist_ok=True)
-        # Failed documents leave no XML: name surviving outputs by their
-        # *original* corpus position so doc<N>.xml still matches input N.
-        failed_positions = {failure.index for failure in result.failures}
-        survivor_positions = [
-            position
-            for position in range(
-                len(result.xml_documents) + len(failed_positions)
-            )
-            if position not in failed_positions
-        ]
-        for position, xml in zip(survivor_positions, result.xml_documents):
-            if args.files and position < len(args.files):
-                stem = Path(args.files[position]).stem
-            else:
-                stem = f"doc{position:04d}"
-            (out / f"{stem}.xml").write_text(xml, encoding="utf-8")
-        print(f"wrote {len(result.xml_documents)} XML documents to {out}/")
+        print(f"wrote {result.stats.documents} XML documents to {Path(args.out)}/")
     if result.failures:
         rows = [
             [failure.doc_id, failure.stage, failure.error_type,
@@ -805,7 +797,9 @@ def _cmd_evolve_fold(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
         ),
     )
-    run = engine.run(sources, discover=False)
+    # Discovery-only folds never read the XML back, so keep it out of
+    # the chunk payloads; only repository syncs need the documents.
+    run = engine.run(sources, discover=False, collect_xml=bool(args.repository))
     result = run.corpus
     # Re-open against the engine's registry so fold counters and the
     # schema-version gauge land next to the conversion metrics.
@@ -946,6 +940,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the bulk-scanning HTML tokenizer (differential "
         "baseline; the parse tree is guaranteed identical either way)",
     )
+    conv.add_argument(
+        "--no-fast-tidy",
+        action="store_true",
+        help="disable the single-snapshot HTML cleanser (differential "
+        "baseline; the tidied tree is guaranteed identical either way)",
+    )
     conv.set_defaults(func=_cmd_html2xml)
 
     engine = sub.add_parser(
@@ -974,7 +974,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker processes (0 = one per CPU, 1 = serial in-process)",
     )
-    engine.add_argument("--chunk-size", type=int, default=16)
+    engine.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        help="documents per worker chunk (0 = adaptive: start small and "
+        "grow until per-chunk overhead is amortized)",
+    )
     engine.add_argument(
         "--discover",
         action="store_true",
@@ -1032,6 +1038,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the bulk-scanning HTML tokenizer (differential "
         "baseline; the parse tree is guaranteed identical either way)",
+    )
+    engine.add_argument(
+        "--no-fast-tidy",
+        action="store_true",
+        help="disable the single-snapshot HTML cleanser (differential "
+        "baseline; the tidied tree is guaranteed identical either way)",
     )
     engine.add_argument(
         "--on-error",

@@ -39,6 +39,12 @@ class ConversionConfig:
     # guaranteed to emit the same token stream (spans included) as the
     # legacy scanner.
     fast_parser: bool = True
+    # Route HTML cleansing through the single-snapshot tidy
+    # (repro.htmlparse.tidy fast path): one materialized postorder feeds
+    # all six fix-up passes instead of six full traversals,
+    # differentially guaranteed to produce the same tree as the legacy
+    # pass-per-traversal cleanser.
+    fast_tidy: bool = True
     # Entries in each token-decision LRU (synonym match lists and Bayes
     # predictions are cached separately); 0 disables memoization while
     # keeping the automaton.

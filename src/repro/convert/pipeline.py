@@ -183,7 +183,7 @@ class DocumentConverter:
                     stage = "tidy"
                     started = time.perf_counter()
                     with tracer.span("convert.tidy"):
-                        tidy(document)
+                        tidy(document, fast=self.config.fast_tidy)
                     timings["tidy"] = time.perf_counter() - started
                 work_root = self._content_root(document)
 

@@ -166,6 +166,27 @@ class Element(Node):
         self.children.append(node)
         return node
 
+    def adopt_all(self, nodes: Iterable[Node]) -> None:
+        """Bulk :meth:`adopt_new`: append nodes the caller guarantees
+        are parentless, without per-node detach scans."""
+        children = self.children
+        for node in nodes:
+            node.parent = self
+            children.append(node)
+
+    def take_children(self) -> list[Node]:
+        """Detach and return all children in one pass.
+
+        The per-child alternative (``detach()`` in a loop) rescans the
+        shrinking child list once per child; this is the O(n) form the
+        tidy fast path splices with.
+        """
+        children = self.children
+        self.children = []
+        for child in children:
+            child.parent = None
+        return children
+
     def insert_child(self, index: int, node: Node) -> Node:
         """Insert ``node`` at ``index`` (detaching it first)."""
         node.detach()

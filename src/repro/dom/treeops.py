@@ -31,6 +31,27 @@ def iter_postorder(root: Node) -> Iterator[Node]:
         stack.extend((child, False) for child in reversed(node.children))
 
 
+def collect_postorder(root: Node) -> list[Node]:
+    """Materialized postorder, same order as ``list(iter_postorder())``.
+
+    Two-sweep form: a right-to-left preorder (one plain stack push/pop
+    per node) reversed at the end -- no ``(node, expanded)`` marker
+    tuples and no generator frame, which makes it the cheap way to
+    snapshot a tree before a mutating pass.
+    """
+    out: list[Node] = []
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, Element) and node.children:
+            # Plain-order push means the rightmost child pops first:
+            # ``out`` fills with the *reversed* postorder.
+            stack.extend(node.children)
+    out.reverse()
+    return out
+
+
 def iter_elements(root: Node) -> Iterator[Element]:
     """Yield only the element nodes, in preorder."""
     for node in iter_preorder(root):

@@ -37,7 +37,8 @@ from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.concepts.bayes import MultinomialNaiveBayes
 from repro.concepts.fastmatch import cache_counter_delta
@@ -69,13 +70,30 @@ class EngineConfig:
 
     ``max_workers=None`` uses every CPU; ``1`` forces the inline serial
     path.  ``chunk_size`` trades scheduling overhead against load
-    balance.  ``max_pending`` bounds submitted-but-unmerged chunks
-    (default ``2 * workers``): the backpressure window that keeps the
-    in-order merge from buffering an unbounded reordering queue.
+    balance: an explicit integer pins every chunk to that size (the
+    historical behavior, and what the differential tests use), while
+    the default ``None`` enables *adaptive* sizing -- chunks start at
+    ``min_chunk_size`` and a :class:`ChunkSizer` grows them (up to
+    ``max_chunk_size``) until each chunk's measured duration amortizes
+    the per-chunk fixed overhead against ``target_chunk_seconds``.
+    ``max_pending`` bounds submitted-but-unmerged chunks (default
+    ``2 * workers``): the backpressure window that keeps the in-order
+    merge from buffering an unbounded reordering queue.  Under adaptive
+    sizing the window is counted in *documents* (``max_pending`` times
+    the current chunk size) so growing chunks do not multiply the
+    buffered volume.
     """
 
     max_workers: int | None = None
-    chunk_size: int = 16
+    chunk_size: int | None = None
+    # Adaptive-sizing bounds (ignored when chunk_size is an explicit
+    # integer): first/smallest chunk size, growth ceiling, and the
+    # per-chunk duration to aim for.  50ms per chunk keeps progress
+    # reporting and the backpressure window responsive while making the
+    # ~1ms fixed cost of scheduling + payload transport <2% overhead.
+    min_chunk_size: int = 8
+    max_chunk_size: int = 128
+    target_chunk_seconds: float = 0.05
     max_pending: int | None = None
     # What to do with documents that fail to convert: "fail_fast" (the
     # historical raise-and-abort default), "skip", "quarantine" (an
@@ -101,6 +119,90 @@ class EngineConfig:
         return ErrorPolicy.coerce(
             self.error_policy, quarantine_dir=self.quarantine_dir
         )
+
+    def adaptive_chunking(self) -> bool:
+        return self.chunk_size is None
+
+    def resolved_chunk_size(self) -> int:
+        """The first chunk's size (and every chunk's, when static)."""
+        if self.chunk_size is None:
+            return max(1, self.min_chunk_size)
+        return max(1, self.chunk_size)
+
+
+class ChunkSizer:
+    """In-flight chunk-size controller.
+
+    Each merged chunk reports its wall time (``ChunkStats.seconds``) and
+    its per-document time (``doc_seconds``); the difference is fixed
+    overhead that does not shrink with smaller chunks.  While chunks
+    finish faster than the target duration the controller grows the
+    size toward ``target / per_doc_seconds`` (at most 4x per step, so
+    one anomalously fast chunk cannot blow past the cap); if chunks
+    overshoot the target badly it backs off by halves.  A static
+    configuration never changes size -- the controller is then just the
+    place the constant lives.
+    """
+
+    def __init__(
+        self,
+        initial: int,
+        cap: int,
+        target_seconds: float,
+        adaptive: bool,
+    ) -> None:
+        self.size = max(1, initial)
+        self.initial = self.size
+        self.cap = max(self.size, cap)
+        self.target_seconds = target_seconds
+        self.adaptive = adaptive
+
+    @classmethod
+    def from_config(cls, config: EngineConfig) -> "ChunkSizer":
+        return cls(
+            config.resolved_chunk_size(),
+            config.max_chunk_size,
+            config.target_chunk_seconds,
+            config.adaptive_chunking(),
+        )
+
+    def observe(self, stats: "ChunkStats") -> None:
+        """Adjust the size from one merged chunk's measurements."""
+        if not self.adaptive:
+            return
+        documents = stats.documents + stats.documents_failed
+        if documents <= 0 or stats.seconds <= 0.0:
+            return
+        per_doc = stats.seconds / documents
+        desired = max(1, int(self.target_seconds / per_doc)) if per_doc > 0 else self.cap
+        if stats.seconds < self.target_seconds:
+            grown = max(self.size + 1, min(desired, self.size * 4))
+            self.size = min(self.cap, grown)
+        elif stats.seconds > 4 * self.target_seconds and self.size > self.initial:
+            self.size = max(self.initial, max(self.size // 2, min(desired, self.size)))
+
+
+@dataclass
+class XmlSink:
+    """Worker-side XML writer (the engine's write-through mode).
+
+    When conversion output is destined for files anyway, shipping every
+    serialized document back through the chunk pickle just to have the
+    parent write it is pure transport cost.  A sink travels to each
+    worker once (via the pool initializer) and survivors are written in
+    the worker, so the payload carries only accumulator + stats.  Writes
+    are idempotent full-file replacements: crash-recovery bisection can
+    re-run a chunk's surviving documents and simply rewrite their files.
+    """
+
+    directory: str
+
+    def write(self, name: str, xml: str) -> None:
+        (Path(self.directory) / f"{name}.xml").write_text(xml, encoding="utf-8")
+
+    def prepare(self) -> None:
+        """Create the output directory (parent-side, before the pool)."""
+        Path(self.directory).mkdir(parents=True, exist_ok=True)
 
 
 @dataclass
@@ -165,6 +267,17 @@ _WORKER_CONVERTER: DocumentConverter | None = None
 _WORKER_TRACE: bool = False
 _WORKER_PROVENANCE: bool = False
 _WORKER_POLICY: ErrorPolicy = ErrorPolicy.fail_fast()
+_WORKER_COLLECT_XML: bool = True
+_WORKER_SINK: XmlSink | None = None
+
+# The parent's converter at pool-spawn time.  Under the fork start
+# method the initializer receives the *same objects* the parent passed
+# (nothing is pickled), so when the identity check below holds, each
+# worker inherits the parent's already-built converter -- compiled
+# synonym matcher included -- via copy-on-write instead of rebuilding
+# it per process.  Under spawn the initargs arrive as copies, the check
+# fails, and each worker builds its own, exactly as before.
+_PREFORK_CONVERTER: DocumentConverter | None = None
 
 
 def _init_worker(
@@ -174,12 +287,26 @@ def _init_worker(
     trace: bool = False,
     provenance: bool = False,
     policy: ErrorPolicy | None = None,
+    collect_xml: bool = True,
+    sink: XmlSink | None = None,
 ) -> None:
     global _WORKER_CONVERTER, _WORKER_TRACE, _WORKER_PROVENANCE, _WORKER_POLICY
-    _WORKER_CONVERTER = DocumentConverter(kb, config, bayes)
+    global _WORKER_COLLECT_XML, _WORKER_SINK
+    prebuilt = _PREFORK_CONVERTER
+    if (
+        prebuilt is not None
+        and prebuilt.kb is kb
+        and prebuilt.config is config
+        and prebuilt.bayes is bayes
+    ):
+        _WORKER_CONVERTER = prebuilt
+    else:
+        _WORKER_CONVERTER = DocumentConverter(kb, config, bayes)
     _WORKER_TRACE = trace
     _WORKER_PROVENANCE = provenance
     _WORKER_POLICY = policy if policy is not None else ErrorPolicy.fail_fast()
+    _WORKER_COLLECT_XML = collect_xml
+    _WORKER_SINK = sink
 
 
 def _run_chunk(
@@ -190,6 +317,9 @@ def _run_chunk(
     tracer: Tracer | NullTracer = NULL_TRACER,
     provenance: ProvenanceLog | None = None,
     policy: ErrorPolicy = ErrorPolicy.fail_fast(),
+    collect_xml: bool = True,
+    sink: XmlSink | None = None,
+    names: Sequence[str] | None = None,
 ) -> ChunkPayload:
     """Convert one chunk: the shared worker/inline code path.
 
@@ -202,12 +332,20 @@ def _run_chunk(
     payload (with the source attached when the policy quarantines) and
     its siblings convert exactly as they would alone.  Fail-fast lets
     the exception propagate -- the historical behavior.
+
+    Transport control: with ``collect_xml=False`` survivors' XML stays
+    out of the payload (discovery-only callers never pay to ship it);
+    an :class:`XmlSink` writes each survivor -- named by ``names`` when
+    the caller supplied original stems, by global position otherwise --
+    from inside the worker.  With neither, documents are not even
+    serialized.
     """
     started = time.perf_counter()
     stats = ChunkStats(index=index, documents=0)
     xml: list[str] = []
     failures: list[DocumentFailure] = []
     accumulator = PathAccumulator()
+    need_xml = collect_xml or sink is not None
     # Token-decision caches persist across chunks inside one converter;
     # snapshotting around the chunk yields this chunk's traffic alone.
     cache_before = converter.tagger_cache_counters()
@@ -219,8 +357,9 @@ def _run_chunk(
                 result = converter.convert(
                     source, doc_id=doc_id, tracer=tracer, provenance=provenance
                 )
-                doc_xml = result.to_xml()
+                doc_xml = result.to_xml() if need_xml else None
             except Exception as exc:
+                stats.doc_seconds += time.perf_counter() - doc_started
                 if policy.is_fail_fast:
                     raise
                 failure = failure_from_exception(
@@ -243,7 +382,13 @@ def _run_chunk(
                         index=failure.index,
                     )
                 continue
-            xml.append(doc_xml)
+            if doc_xml is not None:
+                if sink is not None:
+                    sink.write(
+                        names[offset] if names is not None else doc_id, doc_xml
+                    )
+                if collect_xml:
+                    xml.append(doc_xml)
             with tracer.span("discover.extract_paths", doc=doc_id):
                 doc_paths = extract_paths(result.root)
                 accumulator.add(doc_paths)
@@ -258,10 +403,12 @@ def _run_chunk(
                 stats.rule_seconds[rule] = stats.rule_seconds.get(rule, 0.0) + seconds
             # Run intelligence: per-stage + end-to-end latency into the
             # chunk's mergeable digests, plus slowest-document context.
+            doc_elapsed = time.perf_counter() - doc_started
+            stats.doc_seconds += doc_elapsed
             stats.observe_document(
                 doc_id,
                 base + offset,
-                time.perf_counter() - doc_started,
+                doc_elapsed,
                 result.rule_seconds,
                 context={
                     "root": result.root.tag,
@@ -280,9 +427,11 @@ def _run_chunk(
     )
 
 
-def _convert_chunk(payload: tuple[int, int, list[str]]) -> ChunkPayload:
+def _convert_chunk(
+    payload: tuple[int, int, list[str], list[str] | None]
+) -> ChunkPayload:
     """Pool task: convert a chunk with the per-process converter."""
-    index, base, sources = payload
+    index, base, sources, names = payload
     assert _WORKER_CONVERTER is not None, "worker initializer did not run"
     kill_marker = _WORKER_CONVERTER.config.chaos_kill_marker
     if kill_marker and any(kill_marker in source for source in sources):
@@ -292,7 +441,16 @@ def _convert_chunk(payload: tuple[int, int, list[str]]) -> ChunkPayload:
     tracer: Tracer | NullTracer = Tracer(id_prefix="w") if _WORKER_TRACE else NULL_TRACER
     provenance = ProvenanceLog() if _WORKER_PROVENANCE else None
     chunk = _run_chunk(
-        _WORKER_CONVERTER, index, base, sources, tracer, provenance, _WORKER_POLICY
+        _WORKER_CONVERTER,
+        index,
+        base,
+        sources,
+        tracer,
+        provenance,
+        _WORKER_POLICY,
+        _WORKER_COLLECT_XML,
+        _WORKER_SINK,
+        names,
     )
     if _WORKER_TRACE:
         chunk.spans = tracer.export()
@@ -308,16 +466,22 @@ class _ChunkTask:
     index: int
     base: int
     sources: list[str]
+    # Sink file stems for this chunk's documents (None when the caller
+    # did not name them; the sink then falls back to global positions).
+    names: list[str] | None = None
 
-    def args(self) -> tuple[int, int, list[str]]:
-        return (self.index, self.base, self.sources)
+    def args(self) -> tuple[int, int, list[str], list[str] | None]:
+        return (self.index, self.base, self.sources, self.names)
 
 
-def _chunked(sources: Iterable[str], size: int) -> Iterator[list[str]]:
+def _chunked(sources: Iterable[str], sizer: ChunkSizer) -> Iterator[list[str]]:
+    """Split ``sources`` into chunks, re-reading the sizer's current
+    size at every chunk boundary (adaptive sizing adjusts it while the
+    stream drains)."""
     chunk: list[str] = []
     for source in sources:
         chunk.append(source)
-        if len(chunk) >= size:
+        if len(chunk) >= sizer.size:
             yield chunk
             chunk = []
     if chunk:
@@ -359,6 +523,9 @@ class CorpusEngine:
         tracer: Tracer | NullTracer | None = None,
         provenance: ProvenanceLog | None = None,
         progress: Callable[[EngineStats], None] | None = None,
+        collect_xml: bool = True,
+        xml_sink: XmlSink | str | None = None,
+        names: Sequence[str] | None = None,
     ) -> Iterator[ChunkPayload]:
         """Yield converted chunks **in document order**.
 
@@ -377,17 +544,38 @@ class CorpusEngine:
         ``progress`` (e.g. a :class:`repro.obs.progress.ProgressReporter`)
         is called with the updated stats after every chunk merge --
         the live progress/ETA hook.
+
+        Transport: ``collect_xml=False`` keeps survivors' XML out of
+        the payloads (``payload.xml`` comes back empty) for callers that
+        only need accumulator + stats; ``xml_sink`` (an :class:`XmlSink`
+        or a directory path) writes each survivor to a file from inside
+        the worker, named by the aligned ``names`` sequence when given,
+        by global document position otherwise.
         """
         stats = stats if stats is not None else self.new_stats()
         tracer = resolve_tracer(tracer)
         policy = self.engine_config.resolved_policy()
+        sink = (
+            XmlSink(str(xml_sink))
+            if xml_sink is not None and not isinstance(xml_sink, XmlSink)
+            else xml_sink
+        )
+        if sink is not None:
+            sink.prepare()
+        sizer = ChunkSizer.from_config(self.engine_config)
         started = time.perf_counter()
         workers = stats.workers
-        chunks = enumerate(_chunked(sources, stats.chunk_size))
+        chunks = enumerate(_chunked(sources, sizer))
         doc_cursor = 0
+
+        def chunk_names(base: int, count: int) -> list[str] | None:
+            if names is None:
+                return None
+            return list(names[base : base + count])
 
         def merge(payload: ChunkPayload) -> ChunkPayload:
             stats.absorb(payload.stats)
+            sizer.observe(payload.stats)
             # Wall clock advances at every merge, so an abandoned stream
             # still reports the time actually spent (not a close/GC-time
             # reading, and never a stale 0.0).
@@ -415,7 +603,8 @@ class CorpusEngine:
                     # nothing to re-parent, payload.spans stays None.
                     payload = _run_chunk(
                         converter, index, doc_cursor, chunk, tracer,
-                        provenance, policy,
+                        provenance, policy, collect_xml, sink,
+                        chunk_names(doc_cursor, len(chunk)),
                     )
                     doc_cursor += len(chunk)
                     yield merge(payload)
@@ -425,28 +614,50 @@ class CorpusEngine:
 
         max_pending = self.engine_config.resolved_pending(workers)
         budget = RecoveryBudget(self.engine_config.max_pool_rebuilds)
-        obs = (tracer.enabled, provenance is not None)
+        obs = (tracer.enabled, provenance is not None, collect_xml, sink)
         pool = self._spawn_pool(workers, policy, *obs)
         pending: deque[tuple[_ChunkTask, Future[ChunkPayload]]] = deque()
+        pending_docs = 0
         interrupted = False
+
+        def window_full() -> bool:
+            # Static sizing keeps the historical chunk-count window;
+            # adaptive sizing counts *documents* (max_pending chunks of
+            # the current size) so the buffered volume stays bounded as
+            # chunks grow, and the many small warm-up chunks do not
+            # throttle the pool.
+            if sizer.adaptive:
+                return pending_docs >= max_pending * sizer.size
+            return len(pending) >= max_pending
+
         try:
             for index, chunk in chunks:
-                task = _ChunkTask(index, doc_cursor, chunk)
+                task = _ChunkTask(
+                    index, doc_cursor, chunk,
+                    chunk_names(doc_cursor, len(chunk)),
+                )
                 doc_cursor += len(chunk)
                 pending.append((task, pool.submit(_convert_chunk, task.args())))
+                pending_docs += len(chunk)
                 stats.max_queue_depth = max(
                     stats.max_queue_depth, len(pending)
                 )
                 # Backpressure: consume the oldest chunk (preserving
                 # document order) before submitting past the window.
-                while len(pending) >= max_pending:
+                while pending and window_full():
                     payload, pool = self._next_payload(
                         pending, pool, workers, policy, budget, stats, obs
+                    )
+                    pending_docs -= (
+                        payload.stats.documents + payload.stats.documents_failed
                     )
                     yield merge(payload)
             while pending:
                 payload, pool = self._next_payload(
                     pending, pool, workers, policy, budget, stats, obs
+                )
+                pending_docs -= (
+                    payload.stats.documents + payload.stats.documents_failed
                 )
                 yield merge(payload)
         except GeneratorExit:
@@ -467,13 +678,19 @@ class CorpusEngine:
         tracer: Tracer | NullTracer | None = None,
         provenance: ProvenanceLog | None = None,
         progress: Callable[[EngineStats], None] | None = None,
+        collect_xml: bool = True,
+        xml_sink: XmlSink | str | None = None,
+        names: Sequence[str] | None = None,
     ) -> CorpusResult:
         """Convert a corpus, collecting XML, statistics, and counters.
 
         The returned ``xml_documents`` are byte-identical to serializing
         the serial :meth:`DocumentConverter.convert_many` results, in
         the same order (the differential tests enforce this -- with
-        tracing on or off).
+        tracing on or off).  With ``collect_xml=False`` the result's
+        ``xml_documents`` is empty and only accumulator/stats/failures
+        come home; ``xml_sink``/``names`` are forwarded to
+        :meth:`stream` for worker-side file output.
         """
         tracer = resolve_tracer(tracer)
         stats = self.new_stats()
@@ -487,6 +704,9 @@ class CorpusEngine:
                 tracer=tracer,
                 provenance=provenance,
                 progress=progress,
+                collect_xml=collect_xml,
+                xml_sink=xml_sink,
+                names=names,
             ):
                 xml_documents.extend(payload.xml)
                 failures.extend(payload.failures)
@@ -569,12 +789,21 @@ class CorpusEngine:
         tracer: Tracer | NullTracer | None = None,
         provenance: ProvenanceLog | None = None,
         progress: Callable[[EngineStats], None] | None = None,
+        collect_xml: bool = True,
+        xml_sink: XmlSink | str | None = None,
+        names: Sequence[str] | None = None,
     ) -> EngineRun:
         """Convert a corpus and (optionally) discover its schema."""
         tracer = resolve_tracer(tracer)
         with tracer.span("engine.run"):
             corpus = self.convert_corpus(
-                sources, tracer=tracer, provenance=provenance, progress=progress
+                sources,
+                tracer=tracer,
+                provenance=provenance,
+                progress=progress,
+                collect_xml=collect_xml,
+                xml_sink=xml_sink,
+                names=names,
             )
             discovery = None
             # Schema discovery needs surviving documents: an empty corpus
@@ -599,7 +828,14 @@ class CorpusEngine:
         policy: ErrorPolicy,
         trace: bool,
         provenance_on: bool,
+        collect_xml: bool = True,
+        sink: XmlSink | None = None,
     ) -> ProcessPoolExecutor:
+        # Build (or reuse) the converter parent-side before forking so
+        # workers can inherit it copy-on-write -- _init_worker checks
+        # that its initargs are these same objects before reusing it.
+        global _PREFORK_CONVERTER
+        _PREFORK_CONVERTER = self._converter()
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
@@ -610,6 +846,8 @@ class CorpusEngine:
                 trace,
                 provenance_on,
                 policy,
+                collect_xml,
+                sink,
             ),
         )
 
@@ -620,7 +858,7 @@ class CorpusEngine:
         policy: ErrorPolicy,
         budget: RecoveryBudget,
         stats: EngineStats,
-        obs: tuple[bool, bool],
+        obs: tuple[bool, bool, bool, "XmlSink | None"],
     ) -> ProcessPoolExecutor:
         """Replace a broken pool (bounded by the recovery budget)."""
         budget.spend()
@@ -636,7 +874,7 @@ class CorpusEngine:
         policy: ErrorPolicy,
         budget: RecoveryBudget,
         stats: EngineStats,
-        obs: tuple[bool, bool],
+        obs: tuple[bool, bool, bool, "XmlSink | None"],
     ) -> tuple[ChunkPayload, ProcessPoolExecutor]:
         """The oldest pending chunk's payload, recovering worker crashes.
 
@@ -675,7 +913,7 @@ class CorpusEngine:
         policy: ErrorPolicy,
         budget: RecoveryBudget,
         stats: EngineStats,
-        obs: tuple[bool, bool],
+        obs: tuple[bool, bool, bool, "XmlSink | None"],
     ) -> tuple[ChunkPayload, ProcessPoolExecutor]:
         """Re-run one chunk, bisecting around worker-killing documents.
 
@@ -685,7 +923,9 @@ class CorpusEngine:
         are the proven killers and become ``stage="worker"`` failures).
         The surviving pieces are stitched back into a single payload
         with the chunk's original index, so the caller's in-order merge
-        never notices the detour.
+        never notices the detour.  Sink writes are idempotent full-file
+        replacements, so a re-run segment's survivors simply overwrite
+        the files any pre-crash attempt already produced.
         """
         segments: deque[tuple[int, list[str]]] = deque(
             [(task.base, task.sources)]
@@ -693,7 +933,14 @@ class CorpusEngine:
         pieces: list[tuple[int, ChunkPayload | DocumentFailure]] = []
         while segments:
             base, sources = segments.popleft()
-            future = pool.submit(_convert_chunk, (task.index, base, sources))
+            names = (
+                None
+                if task.names is None
+                else task.names[base - task.base : base - task.base + len(sources)]
+            )
+            future = pool.submit(
+                _convert_chunk, (task.index, base, sources, names)
+            )
             try:
                 pieces.append((base, future.result()))
             except BrokenProcessPool:
@@ -780,7 +1027,7 @@ class CorpusEngine:
         """A fresh stats sink sized to this engine's configuration."""
         return EngineStats(
             workers=self.engine_config.resolved_workers(),
-            chunk_size=max(1, self.engine_config.chunk_size),
+            chunk_size=self.engine_config.resolved_chunk_size(),
         )
 
     def _converter(self) -> DocumentConverter:

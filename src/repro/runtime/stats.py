@@ -42,6 +42,10 @@ NODES_ELIMINATED = "repro_engine_nodes_eliminated_total"
 INPUT_NODES = "repro_engine_input_nodes_total"
 CONCEPT_NODES = "repro_engine_concept_nodes_total"
 WORKER_SECONDS = "repro_engine_worker_seconds_total"
+# In-worker seconds spent converting documents (the per-document loop
+# bodies alone); the gap to WORKER_SECONDS is per-chunk fixed overhead
+# (pool scheduling, cache-counter snapshots, payload assembly).
+DOC_SECONDS = "repro_engine_doc_seconds_total"
 WALL_SECONDS = "repro_engine_wall_seconds"
 MAX_QUEUE_DEPTH = "repro_engine_max_queue_depth"
 WORKERS = "repro_engine_workers"
@@ -108,6 +112,10 @@ class ChunkStats:
     documents_failed: int = 0
     failures_by_stage: dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
+    # Seconds spent inside the per-document conversion loop (failed
+    # documents included); ``seconds - doc_seconds`` is this chunk's
+    # fixed overhead, which the adaptive chunk sizer amortizes away.
+    doc_seconds: float = 0.0
     tokens_created: int = 0
     groups_created: int = 0
     nodes_eliminated: int = 0
@@ -138,6 +146,7 @@ class ChunkStats:
                 self.failures_by_stage.get(stage, 0) + count
             )
         self.seconds += other.seconds
+        self.doc_seconds += other.doc_seconds
         self.tokens_created += other.tokens_created
         self.groups_created += other.groups_created
         self.nodes_eliminated += other.nodes_eliminated
@@ -182,6 +191,85 @@ class ChunkStats:
     def finalize_slowest(self) -> None:
         """Trim the slowest-documents candidates to the shipped top K."""
         self.slowest_docs = merge_slowest(self.slowest_docs, [])
+
+    # -- wire form ------------------------------------------------------------
+    #
+    # Every chunk crosses the process boundary as one of these, so the
+    # pickle gets the same treatment PathAccumulator received: a
+    # version-tagged tuple instead of dataclass dict state (no
+    # per-instance field-name strings), with the slowest-document dicts
+    # -- whose keys repeat across every row -- packed as one key tuple
+    # plus value rows.  The digests already carry their own compact
+    # tuple state.  Old dict-state pickles still restore.
+
+    _WIRE_VERSION = 1
+
+    def __getstate__(self):
+        slowest = self.slowest_docs
+        packed: tuple | list
+        if slowest:
+            keys = tuple(slowest[0])
+            if all(tuple(entry) == keys for entry in slowest):
+                packed = (keys, [tuple(entry.values()) for entry in slowest])
+            else:
+                packed = list(slowest)
+        else:
+            packed = ((), [])
+        return (
+            ChunkStats._WIRE_VERSION,
+            self.index,
+            self.documents,
+            self.documents_failed,
+            self.failures_by_stage,
+            self.seconds,
+            self.doc_seconds,
+            (
+                self.tokens_created,
+                self.groups_created,
+                self.nodes_eliminated,
+                self.input_nodes,
+                self.concept_nodes,
+            ),
+            self.rule_seconds,
+            self.tagger_cache,
+            self.stage_digests,
+            packed,
+        )
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, dict):
+            # A pre-wire-form pickle (plain dataclass dict state).
+            self.__dict__.update(state)
+            self.__dict__.setdefault("doc_seconds", 0.0)
+            return
+        if state[0] != ChunkStats._WIRE_VERSION:
+            raise ValueError(f"unknown ChunkStats wire version: {state[0]!r}")
+        (
+            _version,
+            self.index,
+            self.documents,
+            self.documents_failed,
+            self.failures_by_stage,
+            self.seconds,
+            self.doc_seconds,
+            counters,
+            self.rule_seconds,
+            self.tagger_cache,
+            self.stage_digests,
+            packed,
+        ) = state
+        (
+            self.tokens_created,
+            self.groups_created,
+            self.nodes_eliminated,
+            self.input_nodes,
+            self.concept_nodes,
+        ) = counters
+        if isinstance(packed, tuple):
+            keys, rows = packed
+            self.slowest_docs = [dict(zip(keys, row)) for row in rows]
+        else:
+            self.slowest_docs = list(packed)
 
 
 def rule_rows_from_registry(registry: MetricsRegistry) -> list[list[str]]:
@@ -298,6 +386,11 @@ class EngineStats:
         return self.registry.value(WORKER_SECONDS)
 
     @property
+    def doc_seconds(self) -> float:
+        """In-worker seconds spent in the per-document loop bodies."""
+        return self.registry.value(DOC_SECONDS)
+
+    @property
     def max_queue_depth(self) -> int:
         return self._count(MAX_QUEUE_DEPTH)
 
@@ -367,6 +460,34 @@ class EngineStats:
             return 0.0
         return self.documents / max(self.wall_seconds, MIN_WALL_SECONDS)
 
+    @property
+    def docs_per_second_per_worker(self) -> float:
+        """Scaling efficiency: corpus throughput per configured worker.
+
+        Flat as workers are added means linear scaling; falling means
+        the added workers are buying coordination overhead, not
+        throughput (the regression the scaling benchmark gate watches).
+        """
+        workers = self.workers
+        if workers <= 0:
+            return 0.0
+        return self.docs_per_second / workers
+
+    @property
+    def chunk_overhead_fraction(self) -> float:
+        """Share of in-worker time *not* spent converting documents.
+
+        ``worker_seconds`` covers whole chunks; ``doc_seconds`` only the
+        per-document loop bodies.  The difference is per-chunk fixed
+        cost (scheduling, cache-counter snapshots, payload assembly) --
+        the quantity adaptive chunk sizing drives down by growing
+        chunks until it is amortized.
+        """
+        worker_seconds = self.worker_seconds
+        if worker_seconds <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.doc_seconds / worker_seconds)
+
     # -- aggregation ---------------------------------------------------------
 
     def absorb(self, chunk: ChunkStats) -> None:
@@ -377,6 +498,7 @@ class EngineStats:
         for stage, count in chunk.failures_by_stage.items():
             registry.counter(DOCUMENTS_FAILED, stage=stage).inc(count)
         registry.counter(WORKER_SECONDS).inc(chunk.seconds)
+        registry.counter(DOC_SECONDS).inc(chunk.doc_seconds)
         registry.counter(TOKENS_CREATED).inc(chunk.tokens_created)
         registry.counter(GROUPS_CREATED).inc(chunk.groups_created)
         registry.counter(NODES_ELIMINATED).inc(chunk.nodes_eliminated)
@@ -413,10 +535,22 @@ class EngineStats:
         rows = [
             ["documents", str(self.documents)],
             ["chunks", f"{self.chunks} x {self.chunk_size}"],
+        ]
+        # Adaptive chunk sizing: when the observed chunk sizes vary,
+        # show the range next to the nominal "chunks" row.  The final
+        # chunk is excluded -- it is a partial tail under static sizing
+        # too, not evidence of adaptation.
+        ordered = sorted(self.per_chunk, key=lambda c: c.index)[:-1]
+        sizes = [c.documents + c.documents_failed for c in ordered]
+        if sizes and min(sizes) != max(sizes):
+            rows.append(["chunk sizes", f"{min(sizes)}..{max(sizes)}"])
+        rows += [
             ["workers", str(self.workers)],
             ["wall seconds", f"{self.wall_seconds:.2f}"],
             ["worker seconds", f"{self.worker_seconds:.2f}"],
             ["docs/sec", f"{self.docs_per_second:.1f}"],
+            ["docs/sec/worker", f"{self.docs_per_second_per_worker:.1f}"],
+            ["chunk overhead", f"{self.chunk_overhead_fraction:.0%}"],
             ["max queue depth", str(self.max_queue_depth)],
             ["input nodes", str(self.input_nodes)],
             ["tokens created", str(self.tokens_created)],

@@ -26,7 +26,7 @@ class TestParser:
         args = build_parser().parse_args(["convert-corpus", "--generate", "10"])
         assert args.generate == 10
         assert args.max_workers == 0
-        assert args.chunk_size == 16
+        assert args.chunk_size == 0  # 0 = adaptive sizing
         assert not args.discover
 
 

@@ -1,13 +1,26 @@
-"""Tests for the Tidy-style cleanser."""
+"""Tests for the Tidy-style cleanser, under both implementations.
+
+Every behavioral test runs twice -- once through the single-snapshot
+fast path and once through the six-traversal legacy path -- so a fix
+that lands in only one implementation fails loudly here before the
+differential suites ever see it.
+"""
+
+import pytest
 
 from repro.dom.node import Element, Text
 from repro.htmlparse.parser import body_of, parse_html
 from repro.htmlparse.tidy import tidy
 
 
-def tidied(source):
+@pytest.fixture(params=[True, False], ids=["fast", "legacy"])
+def fast(request):
+    return request.param
+
+
+def tidied(source, fast=True):
     doc = parse_html(source)
-    tidy(doc)
+    tidy(doc, fast=fast)
     return body_of(doc)
 
 
@@ -16,87 +29,87 @@ def tags(element):
 
 
 class TestHeadingRepair:
-    def test_block_moved_out_of_heading(self):
-        b = tidied("<h2>Title<p>para</p></h2>")
+    def test_block_moved_out_of_heading(self, fast):
+        b = tidied("<h2>Title<p>para</p></h2>", fast)
         assert tags(b) == ["h2", "p"]
 
-    def test_nested_heading_moved_out(self):
-        b = tidied("<h1>Big<h2>Small</h2></h1>")
+    def test_nested_heading_moved_out(self, fast):
+        b = tidied("<h1>Big<h2>Small</h2></h1>", fast)
         assert tags(b) == ["h1", "h2"]
 
-    def test_inline_stays_inside_heading(self):
-        b = tidied("<h2><b>Bold title</b></h2>")
+    def test_inline_stays_inside_heading(self, fast):
+        b = tidied("<h2><b>Bold title</b></h2>", fast)
         h2 = b.element_children()[0]
         assert tags(h2) == ["b"]
 
 
 class TestOrphanWrapping:
-    def test_orphan_li_wrapped_in_ul(self):
-        b = tidied("<div><li>a</li><li>b</li></div>")
+    def test_orphan_li_wrapped_in_ul(self, fast):
+        b = tidied("<div><li>a</li><li>b</li></div>", fast)
         div = b.element_children()[0]
         assert tags(div) == ["ul"]
         assert len(div.element_children()[0].element_children()) == 2
 
-    def test_orphan_dt_dd_wrapped_in_dl(self):
-        b = tidied("<div><dt>t</dt><dd>d</dd></div>")
+    def test_orphan_dt_dd_wrapped_in_dl(self, fast):
+        b = tidied("<div><dt>t</dt><dd>d</dd></div>", fast)
         div = b.element_children()[0]
         assert tags(div) == ["dl"]
 
-    def test_orphan_tr_wrapped_in_table(self):
-        b = tidied("<div><tr><td>x</td></tr></div>")
+    def test_orphan_tr_wrapped_in_table(self, fast):
+        b = tidied("<div><tr><td>x</td></tr></div>", fast)
         div = b.element_children()[0]
         assert tags(div) == ["table"]
 
-    def test_li_inside_ul_untouched(self):
-        b = tidied("<ul><li>a</li></ul>")
+    def test_li_inside_ul_untouched(self, fast):
+        b = tidied("<ul><li>a</li></ul>", fast)
         ul = b.element_children()[0]
         assert tags(ul) == ["li"]
 
-    def test_separate_runs_get_separate_wrappers(self):
-        b = tidied("<div><li>a</li><p>x</p><li>b</li></div>")
+    def test_separate_runs_get_separate_wrappers(self, fast):
+        b = tidied("<div><li>a</li><p>x</p><li>b</li></div>", fast)
         div = b.element_children()[0]
         assert tags(div) == ["ul", "p", "ul"]
 
 
 class TestInlineCleanup:
-    def test_empty_inline_removed(self):
-        b = tidied("<p><b></b>text</p>")
+    def test_empty_inline_removed(self, fast):
+        b = tidied("<p><b></b>text</p>", fast)
         p = b.element_children()[0]
         assert tags(p) == []
 
-    def test_doubled_bold_collapsed(self):
-        b = tidied("<p><b><b>x</b></b></p>")
+    def test_doubled_bold_collapsed(self, fast):
+        b = tidied("<p><b><b>x</b></b></p>", fast)
         p = b.element_children()[0]
         assert tags(p) == ["b"]
         assert tags(p.element_children()[0]) == []
 
-    def test_nonempty_inline_kept(self):
-        b = tidied("<p><b>x</b></p>")
+    def test_nonempty_inline_kept(self, fast):
+        b = tidied("<p><b>x</b></p>", fast)
         assert tags(b.element_children()[0]) == ["b"]
 
 
 class TestWhitespace:
-    def test_runs_collapsed(self):
-        b = tidied("<p>a   b\n\t c</p>")
+    def test_runs_collapsed(self, fast):
+        b = tidied("<p>a   b\n\t c</p>", fast)
         p = b.element_children()[0]
         assert p.text_children()[0].text == "a b c"
 
-    def test_pre_preserved(self):
-        b = tidied("<pre>a   b</pre>")
+    def test_pre_preserved(self, fast):
+        b = tidied("<pre>a   b</pre>", fast)
         pre = b.element_children()[0]
         assert pre.text_children()[0].text == "a   b"
 
-    def test_tidy_returns_root(self):
+    def test_tidy_returns_root(self, fast):
         doc = parse_html("<p>x</p>")
-        assert tidy(doc) is doc
+        assert tidy(doc, fast=fast) is doc
 
 
 class TestIdempotence:
-    def test_double_tidy_stable(self):
+    def test_double_tidy_stable(self, fast):
         from repro.dom.treeops import deep_equal, clone
 
         doc = parse_html("<h2>T<p>p</p></h2><div><li>a<li>b</div><p><b><b>x</b></b></p>")
-        tidy(doc)
+        tidy(doc, fast=fast)
         snapshot = clone(doc)
-        tidy(doc)
+        tidy(doc, fast=fast)
         assert deep_equal(doc, snapshot)
