@@ -172,12 +172,18 @@ def _cmd_convert_corpus(args: argparse.Namespace) -> int:
         names = [Path(name).stem for name in args.files]
     else:
         names = [f"doc{position:04d}" for position in range(len(sources))]
-    run = engine.run(sources, sup_threshold=args.sup, ratio_threshold=args.ratio,
-                     discover=args.discover, tracer=tracer, provenance=provenance,
-                     progress=reporter, collect_xml=False,
-                     xml_sink=args.out or None, names=names)
-    result = run.corpus
-    reporter.finish(result.stats)
+    # The finally terminates the in-place progress line even when the
+    # run raises (Ctrl-C, fail-fast error): without it, the next stderr
+    # write would land mid-line in non-TTY captures.
+    try:
+        run = engine.run(sources, sup_threshold=args.sup, ratio_threshold=args.ratio,
+                         discover=args.discover, tracer=tracer, provenance=provenance,
+                         progress=reporter, collect_xml=False,
+                         xml_sink=args.out or None, names=names)
+        result = run.corpus
+        reporter.finish(result.stats)
+    finally:
+        reporter.finish()
     if tracer is not None and args.trace_out:
         lines = write_trace_jsonl(args.trace_out, tracer, provenance)
         print(f"wrote {lines} trace records to {args.trace_out}")
@@ -632,6 +638,43 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ConversionService, ServiceConfig
+
+    config = ServiceConfig(
+        max_workers=args.max_workers or None,
+        max_batch=args.max_batch,
+        batch_wait=args.batch_wait,
+        max_queue=args.max_queue,
+        publish=args.publish,
+        drain_timeout=args.drain_timeout,
+    )
+    service = ConversionService(
+        build_resume_knowledge_base(),
+        state_dir=args.state_dir,
+        config=config,
+    )
+
+    def ready(host: str, port: int) -> None:
+        # Flushed immediately so supervisors (and the smoke tests) can
+        # scrape the bound port even when --port 0 picked an ephemeral one.
+        print(f"listening on http://{host}:{port}", flush=True)
+        print(
+            f"workers={config.resolved_workers()} "
+            f"max_batch={config.max_batch} state_dir={args.state_dir}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(service.run(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    print("drained cleanly", flush=True)
+    return 0
+
+
 def _migration_rows(report) -> list[list[str]]:
     return [
         ["documents", str(report.documents)],
@@ -707,66 +750,27 @@ def _evolve_publish(
 ) -> tuple[int, dict | None]:
     """Bring a versioned repository up to the evolving schema.
 
-    Migrates the repository's existing documents when their stored DTD
-    is behind the schema's current one (in parallel, through the
-    tree-edit mapping layer), conforms and appends ``new_xml``, and
-    publishes the combined store as the next version.  Returns the
-    published version and a migration summary (``None`` when nothing
-    needed migrating).
+    Thin CLI wrapper over :func:`repro.service.state.sync_repository`
+    (the conversion service's fold lane runs the same publish step):
+    delegates the migrate-if-stale + insert + publish work and prints
+    the migration table when existing documents needed migrating.
     """
-    from repro.dom.serialize import to_xml_document as _to_xml
-    from repro.mapping.persistence import DTD_NAME, load_xml_document
-    from repro.mapping.repository import RepositoryStats, XMLRepository
-    from repro.mapping.versioned import migrate_documents
+    from repro.service.state import sync_repository
 
-    dtd = evolving.dtd
-    existing_xml: list[str] = []
-    migration = None
-    existing_conforming = 0
-    existing_repaired = 0
-    existing_operations = 0
-    if vrepo.exists():
-        existing_xml = vrepo.document_xml()
-        stored_dtd = (
-            vrepo.version_dir(vrepo.current_version()) / DTD_NAME
-        ).read_text(encoding="utf-8")
-        if stored_dtd != evolving.dtd_text:
-            existing_xml, report = migrate_documents(
-                existing_xml, dtd,
-                max_workers=max_workers, chunk_size=chunk_size,
-            )
-            migration = {
-                "documents": report.documents,
-                "already_conforming": report.already_conforming,
-                "migrated": report.migrated,
-                "total_operations": report.total_operations,
-            }
-            print(format_table(["migration", "value"],
-                               _migration_rows(report),
-                               title="Parallel repository migration"))
-            existing_conforming = report.already_conforming
-            existing_repaired = report.migrated
-            existing_operations = report.total_operations
-        else:
-            existing_conforming = len(existing_xml)
-    inserter = XMLRepository(dtd)
-    for xml in new_xml:
-        inserter.insert(load_xml_document(xml))
-    combined = existing_xml + [_to_xml(doc) for doc in inserter.documents]
-    stats = RepositoryStats(
-        documents=len(combined),
-        conforming_on_arrival=(
-            existing_conforming + inserter.stats.conforming_on_arrival
-        ),
-        repaired=existing_repaired + inserter.stats.repaired,
-        rejected=inserter.stats.rejected,
-        total_repair_operations=(
-            existing_operations + inserter.stats.total_repair_operations
-        ),
+    version, migration = sync_repository(
+        vrepo, evolving, new_xml,
+        max_workers=max_workers, chunk_size=chunk_size,
     )
-    version = vrepo.publish_xml(
-        dtd, combined, stats, schema_version=evolving.version
-    )
+    if migration is not None:
+        rows = [
+            ["documents", str(migration["documents"])],
+            ["already conforming", str(migration["already_conforming"])],
+            ["migrated", str(migration["migrated"])],
+            ["repair operations", str(migration["total_operations"])],
+            ["avg edit distance", f"{migration['avg_edit_distance']:.2f}"],
+        ]
+        print(format_table(["migration", "value"], rows,
+                           title="Parallel repository migration"))
     return version, migration
 
 
@@ -1298,6 +1302,35 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--seed", type=int, default=7)
     crawl.add_argument("--out", default="")
     crawl.set_defaults(func=_cmd_crawl)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived conversion service over HTTP "
+             "(POST /convert, /convert/batch; GET /schemas, /metrics, /healthz)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--state-dir", default="service-state", metavar="DIR",
+                       help="per-topic schema/repository state root")
+    serve.add_argument("--max-workers", type=int, default=0,
+                       help="engine worker processes per topic "
+                            "(0 = min(4, CPUs); 1 = inline)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="documents per micro-batched engine chunk")
+    serve.add_argument("--batch-wait", type=float, default=0.005,
+                       help="seconds to linger for batch companions "
+                            "when all dispatch slots are busy")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="queued documents per lane before submits "
+                            "block (backpressure bound)")
+    serve.add_argument("--publish", action="store_true",
+                       help="publish folded documents into a versioned "
+                            "repository under the state dir")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for in-flight requests on "
+                            "SIGTERM/SIGINT before forcing the drain")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -44,7 +44,18 @@ def _labelset(labels: Mapping[str, str]) -> LabelSet:
 
 
 def _escape_label_value(value: str) -> str:
+    """Escape a label value per the 0.0.4 text format: backslash,
+    double-quote, and newline (in that order -- backslash first, or the
+    escapes themselves would be re-escaped).  Label values reaching the
+    exposition can contain all three: document ids come from arbitrary
+    file stems and label paths from document content."""
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help_text(text: str) -> str:
+    """Escape ``# HELP`` text: only backslash and newline (the 0.0.4
+    format does *not* escape double quotes in help text)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _render_labels(labels: LabelSet, extra: tuple[tuple[str, str], ...] = ()) -> str:
@@ -191,8 +202,21 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, LabelSet], Metric] = {}
+        # Optional per-name help text, emitted as `# HELP` lines by the
+        # Prometheus exposition (name-level, like TYPE: one line per
+        # metric family regardless of label sets).
+        self._help: dict[str, str] = {}
 
     # -- registration --------------------------------------------------------
+
+    def describe(self, name: str, text: str) -> None:
+        """Attach help text to a metric family (first writer wins)."""
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self._help.setdefault(name, text)
+
+    def help_text(self, name: str) -> str | None:
+        return self._help.get(name)
 
     def _get_or_create(self, cls, name: str, labels: LabelSet, *args) -> Metric:
         key = (name, labels)
@@ -266,6 +290,8 @@ class MetricsRegistry:
         historical last-writer-wins default -- ``"max"``, ``"min"``, or
         ``"sum"``), so high-water marks merged from chunk workers keep
         the corpus-wide extreme instead of the last worker's value."""
+        for name, text in other._help.items():
+            self._help.setdefault(name, text)
         for metric in other:
             if isinstance(metric, Counter):
                 self._get_or_create(Counter, metric.name, metric.labels).inc(
@@ -322,12 +348,17 @@ class MetricsRegistry:
                 if isinstance(metric, Gauge) and metric.merge_mode != "last":
                     entry["merge"] = metric.merge_mode
             metrics.append(entry)
-        return {"metrics": metrics}
+        snapshot: dict = {"metrics": metrics}
+        if self._help:
+            snapshot["help"] = dict(sorted(self._help.items()))
+        return snapshot
 
     @classmethod
     def from_json(cls, data: dict) -> "MetricsRegistry":
         """Rebuild a registry saved by :meth:`to_json`."""
         registry = cls()
+        for name, text in data.get("help", {}).items():
+            registry.describe(name, text)
         for entry in data.get("metrics", []):
             labels = entry.get("labels", {})
             kind = entry.get("kind")
@@ -358,6 +389,11 @@ class MetricsRegistry:
         for metric in self:
             if metric.name not in typed:
                 typed.add(metric.name)
+                help_text = self._help.get(metric.name)
+                if help_text is not None:
+                    lines.append(
+                        f"# HELP {metric.name} {_escape_help_text(help_text)}"
+                    )
                 lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
                 cumulative = metric.cumulative_counts()

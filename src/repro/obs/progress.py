@@ -38,6 +38,13 @@ class _StatsLike(Protocol):  # pragma: no cover - typing aid
     wall_seconds: float
 
 
+# Rate computations floor elapsed time here: a first-tick merge can
+# arrive with microseconds on the clock, and dividing by it would print
+# an absurd six-figure docs/s (and a bogus near-zero ETA) before the
+# run settles.  Mirrors stats.MIN_WALL_SECONDS.
+MIN_RATE_ELAPSED = 1e-3
+
+
 def _default_enabled(stream: TextIO) -> bool:
     isatty = getattr(stream, "isatty", None)
     try:
@@ -86,14 +93,21 @@ class ProgressReporter:
         self._render(stats.documents, stats.documents_failed, stats.wall_seconds)
 
     def finish(self, stats: _StatsLike | None = None) -> None:
-        """Render one final line (ignoring the rate limit) and end it."""
+        """Render one final line (ignoring the rate limit) and end it.
+
+        Idempotent, and a no-op when nothing was ever rendered and no
+        final stats were supplied: a run that never drew a progress line
+        (or an exception path calling ``finish()`` defensively) must not
+        emit a stray newline into captured stderr."""
         if not self.enabled or self._finished:
             return
-        self._finished = True
         if stats is not None:
             self._render(
                 stats.documents, stats.documents_failed, stats.wall_seconds
             )
+        self._finished = True
+        if self.renders == 0:
+            return
         self.stream.write("\n")
         self.stream.flush()
 
@@ -106,8 +120,14 @@ class ProgressReporter:
     # -- rendering ------------------------------------------------------------
 
     def format_line(self, done: int, failed: int, elapsed: float) -> str:
-        """The progress line for a given state (exposed for tests)."""
-        rate = done / elapsed if elapsed > 0 and done else 0.0
+        """The progress line for a given state (exposed for tests).
+
+        Degenerate inputs stay sane: zero/negative elapsed never
+        divides by zero, sub-millisecond first ticks are floored to
+        :data:`MIN_RATE_ELAPSED` so the rate (and the ETA derived from
+        it) is never garbage, and a zero rate suppresses the ETA field
+        entirely rather than extrapolating from nothing."""
+        rate = done / max(elapsed, MIN_RATE_ELAPSED) if done > 0 else 0.0
         parts = [f"[{self.label}] "]
         if self.total is not None and self.total > 0:
             finished = done + failed

@@ -197,8 +197,16 @@ _PROM_TYPE_RE = re.compile(
     rf"^# TYPE ({_PROM_NAME}) (counter|gauge|histogram|summary|untyped)$"
 )
 _PROM_HELP_RE = re.compile(rf"^# HELP {_PROM_NAME} .*$")
+# One `name="value"` pair: the value is a quoted string whose inner
+# characters are anything except a raw quote/backslash, or a backslash
+# escape.  A naive `[^{}]*` label block would reject legitimate escaped
+# quotes and label values containing `{`/`}` (document ids and label
+# paths can carry all of these).
+_PROM_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
 _PROM_SAMPLE_RE = re.compile(
-    rf"^({_PROM_NAME})(\{{[^{{}}]*\}})? ([0-9eE+.\-]+|NaN|[+-]Inf)(\s+\d+)?$"
+    rf"^({_PROM_NAME})"
+    rf"(\{{{_PROM_LABEL}(?:,{_PROM_LABEL})*,?\}})?"
+    rf" ([0-9eE+.\-]+|NaN|[+-]Inf)(\s+\d+)?$"
 )
 
 

@@ -660,11 +660,13 @@ class CorpusEngine:
                     payload.stats.documents + payload.stats.documents_failed
                 )
                 yield merge(payload)
-        except GeneratorExit:
-            # The consumer closed the stream mid-corpus: do not block on
-            # in-flight chunks (the old `with pool:` exit did, leaking
-            # the caller's time into generator close), and drop queued
-            # ones on the floor.
+        except BaseException:
+            # Any exceptional exit -- the consumer closing the stream
+            # (GeneratorExit), Ctrl-C (KeyboardInterrupt), a progress
+            # callback raising, or a conversion error under fail-fast --
+            # must not block on in-flight chunks (the old `with pool:`
+            # exit did, leaking the caller's time into generator close);
+            # cancel queued ones and let workers die with the pool.
             interrupted = True
             raise
         finally:

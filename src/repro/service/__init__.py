@@ -1,0 +1,41 @@
+"""Conversion-as-a-service: a long-lived async HTTP front-end over the
+corpus engine.
+
+The package splits along the request/result/artifact contract model:
+
+* :mod:`repro.service.contracts` -- the wire schemas (requests in,
+  outcomes out) with parse-time validation.
+* :mod:`repro.service.workers` -- the warm engine pool: one
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers hold a
+  built converter (compiled automaton + tidy tables) for the daemon's
+  whole lifetime, fed chunk-at-a-time by the batcher.
+* :mod:`repro.service.batcher` -- micro-batching with bounded
+  backpressure: concurrent clients' documents coalesce into engine
+  chunks; a full queue makes callers wait, never drops.
+* :mod:`repro.service.state` -- the artifact store: per-topic
+  :class:`~repro.schema.evolution.EvolvingSchema` (durable accumulator
+  checkpoints, versioned DTDs) and optional
+  :class:`~repro.mapping.versioned.VersionedRepository` publishing.
+* :mod:`repro.service.server` -- the asyncio HTTP server itself
+  (``/convert``, ``/convert/batch``, ``/schemas/<topic>``, ``/metrics``,
+  ``/healthz``) with graceful SIGTERM/SIGINT drain.
+* :mod:`repro.service.loadtest` -- the concurrent-client load harness
+  writing latency/throughput quantiles to ``BENCH_service.json``.
+"""
+
+from repro.service.contracts import (
+    BatchOutcome,
+    ContractError,
+    ConvertRequest,
+    DocumentOutcome,
+)
+from repro.service.server import ConversionService, ServiceConfig
+
+__all__ = [
+    "BatchOutcome",
+    "ContractError",
+    "ConversionService",
+    "ConvertRequest",
+    "DocumentOutcome",
+    "ServiceConfig",
+]

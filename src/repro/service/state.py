@@ -1,0 +1,232 @@
+"""Per-topic artifact store behind the conversion service.
+
+Each topic owns a state directory::
+
+    <state-dir>/<topic>/evolution/    durable accumulator checkpoint,
+                                      current.dtd, dtds/vNNNN.dtd
+    <state-dir>/<topic>/repository/   optional versioned XML repository
+
+Folds go through :class:`~repro.schema.evolution.EvolvingSchema` (the
+same state an offline ``repro-web evolve fold`` advances -- the
+accumulator is a monoid, so folding per micro-batch converges to the
+same schema as one offline fold over the same documents), and archived
+``dtds/vNNNN.dtd`` files back the "convert against schema v3" request
+mode.  :func:`sync_repository` is the publish step shared with the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.schema.dtd import DTD
+from repro.schema.evolution import EvolvingSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.concepts.knowledge import KnowledgeBase
+    from repro.mapping.versioned import VersionedRepository
+    from repro.obs.metrics import MetricsRegistry
+    from repro.schema.accumulator import PathAccumulator
+
+
+class UnknownSchemaVersion(KeyError):
+    """A request targeted a schema version the topic never published."""
+
+
+def sync_repository(
+    vrepo: "VersionedRepository",
+    evolving: EvolvingSchema,
+    new_xml: list[str],
+    *,
+    max_workers: int | None = None,
+    chunk_size: int = 16,
+) -> tuple[int, dict | None]:
+    """Bring a versioned repository up to the evolving schema.
+
+    Migrates the repository's existing documents when their stored DTD
+    is behind the schema's current one (in parallel, through the
+    tree-edit mapping layer), conforms and appends ``new_xml``, and
+    publishes the combined store as the next version.  Returns the
+    published version and a migration summary (``None`` when nothing
+    needed migrating).  Shared by ``repro-web evolve fold --repository``
+    and the service's fold lane.
+    """
+    from repro.dom.serialize import to_xml_document
+    from repro.mapping.persistence import DTD_NAME, load_xml_document
+    from repro.mapping.repository import RepositoryStats, XMLRepository
+    from repro.mapping.versioned import migrate_documents
+
+    dtd = evolving.dtd
+    assert dtd is not None, "cannot publish before a schema is derivable"
+    existing_xml: list[str] = []
+    migration = None
+    existing_conforming = 0
+    existing_repaired = 0
+    existing_operations = 0
+    if vrepo.exists():
+        existing_xml = vrepo.document_xml()
+        stored_dtd = (
+            vrepo.version_dir(vrepo.current_version()) / DTD_NAME
+        ).read_text(encoding="utf-8")
+        if stored_dtd != evolving.dtd_text:
+            existing_xml, report = migrate_documents(
+                existing_xml, dtd,
+                max_workers=max_workers, chunk_size=chunk_size,
+            )
+            migration = {
+                "documents": report.documents,
+                "already_conforming": report.already_conforming,
+                "migrated": report.migrated,
+                "total_operations": report.total_operations,
+                "avg_edit_distance": report.avg_edit_distance,
+            }
+            existing_conforming = report.already_conforming
+            existing_repaired = report.migrated
+            existing_operations = report.total_operations
+        else:
+            existing_conforming = len(existing_xml)
+    inserter = XMLRepository(dtd)
+    for xml in new_xml:
+        inserter.insert(load_xml_document(xml))
+    combined = existing_xml + [to_xml_document(doc) for doc in inserter.documents]
+    stats = RepositoryStats(
+        documents=len(combined),
+        conforming_on_arrival=(
+            existing_conforming + inserter.stats.conforming_on_arrival
+        ),
+        repaired=existing_repaired + inserter.stats.repaired,
+        rejected=inserter.stats.rejected,
+        total_repair_operations=(
+            existing_operations + inserter.stats.total_repair_operations
+        ),
+    )
+    version = vrepo.publish_xml(
+        dtd, combined, stats, schema_version=evolving.version
+    )
+    return version, migration
+
+
+class TopicState:
+    """One topic's evolving schema + optional versioned repository.
+
+    Thread-safe: folds and publishes run in executor threads under
+    :attr:`lock` (the checkpoint's delta log is append-ordered), while
+    read paths (`describe`, version lookups) only touch immutable
+    version artifacts and atomic state snapshots.
+    """
+
+    def __init__(
+        self,
+        topic: str,
+        kb: "KnowledgeBase",
+        directory: str | Path,
+        *,
+        registry: "MetricsRegistry | None" = None,
+        publish: bool = False,
+        max_workers: int | None = None,
+        chunk_size: int = 16,
+    ) -> None:
+        self.topic = topic
+        self.kb = kb
+        self.directory = Path(directory)
+        self.lock = threading.Lock()
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.evolving = EvolvingSchema(
+            self.directory / "evolution", kb, registry=registry
+        )
+        if not self.evolving.exists():
+            # Auto-init: a fresh service state dir is usable immediately
+            # (the CLI's `evolve init` does the same for offline runs).
+            self.evolving.save_state()
+        self.repository: "VersionedRepository | None" = None
+        if publish:
+            from repro.mapping.versioned import VersionedRepository
+
+            self.repository = VersionedRepository(self.directory / "repository")
+        self._dtd_cache: dict[int, DTD] = {}
+
+    # -- folding (called from executor threads) ------------------------------
+
+    def fold(
+        self, accumulator: "PathAccumulator", new_xml: list[str]
+    ) -> dict:
+        """Fold a micro-batch's statistics into the live accumulator;
+        publish the surviving XML when a repository is configured.
+        Returns the JSON summary attached to the batch outcome."""
+        with self.lock:
+            outcome = self.evolving.fold(accumulator)
+            summary: dict = {
+                "documents_folded": outcome.documents_folded,
+                "total_documents": outcome.total_documents,
+                "schema_version": outcome.version,
+                "bumped": outcome.bumped,
+            }
+            if self.repository is not None and self.evolving.dtd is not None:
+                version, migration = sync_repository(
+                    self.repository, self.evolving, new_xml,
+                    max_workers=self.max_workers, chunk_size=self.chunk_size,
+                )
+                summary["repository_version"] = version
+                if migration is not None:
+                    summary["migration"] = migration
+            return summary
+
+    # -- schema-version targeting --------------------------------------------
+
+    def dtd_text_for_version(self, version: int) -> str:
+        path = self.evolving.version_dtd_path(version)
+        if not path.exists():
+            raise UnknownSchemaVersion(
+                f"{self.topic}: no archived schema version {version}"
+            )
+        return path.read_text(encoding="utf-8")
+
+    def dtd_for_version(self, version: int) -> DTD:
+        cached = self._dtd_cache.get(version)
+        if cached is None:
+            cached = DTD.parse(self.dtd_text_for_version(version))
+            self._dtd_cache[version] = cached
+        return cached
+
+    def conform_to_version(self, xml_text: str, version: int) -> str:
+        """Re-shape converted XML against an archived schema version
+        (the "convert against schema v3" request mode)."""
+        from repro.dom.serialize import to_xml_document
+        from repro.mapping.conform import conform_document
+        from repro.mapping.persistence import load_xml_document
+        from repro.mapping.validate import validate_document
+
+        dtd = self.dtd_for_version(version)
+        root = load_xml_document(xml_text)
+        if validate_document(root, dtd):
+            conform_document(root, dtd)
+        return to_xml_document(root)
+
+    # -- reporting -----------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The ``GET /schemas/<topic>`` payload."""
+        evolving = self.evolving
+        versions = []
+        dtd_dir = self.directory / "evolution" / "dtds"
+        if dtd_dir.is_dir():
+            versions = sorted(
+                int(p.stem[1:]) for p in dtd_dir.glob("v*.dtd")
+            )
+        out: dict = {
+            "topic": self.topic,
+            "schema_version": evolving.version,
+            "documents": evolving.total_documents(),
+            "dtd": evolving.dtd_text or None,
+            "versions": versions,
+            "history": evolving.history,
+        }
+        if self.repository is not None:
+            out["repository_version"] = (
+                self.repository.current_version()
+                if self.repository.exists()
+                else None
+            )
+        return out

@@ -1,0 +1,156 @@
+"""The warm engine pool behind the conversion service.
+
+A one-shot CLI run pays converter construction (knowledge base, compiled
+Aho-Corasick automaton, tidy tables) on every invocation.  The service
+pays it once: a single :class:`~concurrent.futures.ProcessPoolExecutor`
+is spawned at startup through the engine's own worker initializer --
+including the ``_PREFORK_CONVERTER`` copy-on-write reuse under fork --
+and every micro-batch becomes one
+:func:`repro.runtime.engine._convert_chunk` task on it.
+
+``max_workers=1`` runs chunks inline (in a thread, so the event loop
+stays responsive) with a single long-lived converter: the deterministic
+fast path the lifecycle tests use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.concepts.knowledge import KnowledgeBase
+from repro.convert.config import ConversionConfig
+from repro.convert.pipeline import DocumentConverter
+from repro.runtime import engine as engine_runtime
+from repro.runtime.engine import ChunkPayload
+from repro.runtime.faults import ErrorPolicy
+from repro.runtime.stats import EngineStats
+
+
+class PoolClosed(RuntimeError):
+    """A chunk was submitted after the pool shut down."""
+
+
+class WarmEnginePool:
+    """A long-lived, pre-warmed chunk-conversion pool.
+
+    Documents are isolated with the engine's ``skip`` policy (a document
+    that fails to convert becomes a structured failure in the payload,
+    never a dead worker), and every payload's stats are absorbed into
+    :attr:`stats`, so ``/metrics`` exposes the full engine registry.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: ConversionConfig | None = None,
+        *,
+        max_workers: int | None = None,
+        stats: EngineStats | None = None,
+    ) -> None:
+        self.kb = kb
+        self.config = config or ConversionConfig()
+        self.workers = max(1, max_workers) if max_workers else 2
+        self.policy = ErrorPolicy.skip()
+        self.stats = stats if stats is not None else EngineStats(
+            workers=self.workers, chunk_size=0
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._inline: DocumentConverter | None = None
+        self._chunk_indices = itertools.count()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Build the converter parent-side and spawn the pool (no-op for
+        the inline single-worker mode)."""
+        if self.workers == 1:
+            self._inline = DocumentConverter(self.kb, self.config)
+            return
+        converter = DocumentConverter(self.kb, self.config)
+        # Same prefork handshake as CorpusEngine._spawn_pool: under fork
+        # the initializer sees these exact objects and adopts the built
+        # converter copy-on-write instead of rebuilding per worker.
+        engine_runtime._PREFORK_CONVERTER = converter
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=engine_runtime._init_worker,
+            initargs=(
+                self.kb,
+                self.config,
+                None,  # bayes
+                False,  # trace
+                False,  # provenance
+                self.policy,
+                True,  # collect_xml: results go back over HTTP
+                None,  # sink
+            ),
+        )
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            self._pool = None
+
+    def worker_pids(self) -> list[int]:
+        """Live worker process ids (empty in inline mode); exposed via
+        ``/healthz`` so drain tests can assert nothing is orphaned."""
+        if self._pool is None:
+            return []
+        processes = getattr(self._pool, "_processes", None) or {}
+        return sorted(processes.keys())
+
+    # -- conversion ----------------------------------------------------------
+
+    async def convert_chunk(
+        self, sources: list[str], base: int
+    ) -> ChunkPayload:
+        """Convert one micro-batch on the warm pool (or inline thread).
+
+        Raises whatever the pool raises -- a BrokenProcessPool reaches
+        the batcher, which rebuilds and retries once.
+        """
+        if self._closed:
+            raise PoolClosed("engine pool is shut down")
+        index = next(self._chunk_indices)
+        loop = asyncio.get_running_loop()
+        if self._inline is not None:
+            converter = self._inline
+            payload = await loop.run_in_executor(
+                None,
+                lambda: engine_runtime._run_chunk(
+                    converter, index, base, sources, policy=self.policy
+                ),
+            )
+        else:
+            assert self._pool is not None, "pool not started"
+            payload = await asyncio.wrap_future(
+                self._pool.submit(
+                    engine_runtime._convert_chunk,
+                    (index, base, sources, None),
+                )
+            )
+        self._absorb(payload)
+        return payload
+
+    def rebuild(self) -> None:
+        """Replace a broken pool (worker OOM-killed / segfaulted)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self.stats.record_pool_rebuild()
+            self.start()
+
+    def _absorb(self, payload: ChunkPayload) -> None:
+        self.stats.absorb(payload.stats)
+        # The engine keeps every ChunkStats for post-run reporting; a
+        # daemon absorbing chunks forever must not.  The registry has
+        # already folded the counters in, so drop the per-chunk detail
+        # and cap the retained failure records.
+        self.stats.per_chunk.clear()
+        for failure in payload.failures:
+            self.stats.failures.append(failure)
+        del self.stats.failures[:-100]

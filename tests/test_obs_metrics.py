@@ -139,6 +139,65 @@ class TestPrometheusExposition:
         assert r'c{path="a\"b\\c\nd"} 1' in text
         assert validate_prometheus_text(text) == []
 
+    def test_label_escape_order_backslash_first(self):
+        """Backslash must escape before quote/newline, or the inserted
+        escape backslashes would themselves be doubled."""
+        registry = MetricsRegistry()
+        registry.counter("c", path="\\n").inc()
+        text = registry.render_prometheus()
+        # A literal backslash + n: escaped backslash then literal n,
+        # NOT a doubly-escaped newline.
+        assert 'c{path="\\\\n"} 1' in text
+        assert validate_prometheus_text(text) == []
+
+    def test_label_values_with_braces_pass_validator(self):
+        """Label paths like ``resume{2}`` carry braces; the sample
+        regex must parse quoted values, not just scan for ``}``."""
+        registry = MetricsRegistry()
+        registry.counter("c", path="resume{2}.name", doc="a}b{c").inc()
+        text = registry.render_prometheus()
+        assert validate_prometheus_text(text) == []
+
+
+class TestHelpText:
+    def test_help_line_emitted_before_type(self):
+        registry = MetricsRegistry()
+        registry.describe("repro_docs_total", "Documents converted.")
+        registry.counter("repro_docs_total").inc(3)
+        lines = registry.render_prometheus().splitlines()
+        help_index = lines.index("# HELP repro_docs_total Documents converted.")
+        type_index = lines.index("# TYPE repro_docs_total counter")
+        assert help_index == type_index - 1
+        assert validate_prometheus_text(registry.render_prometheus()) == []
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.describe("c", 'multi\nline \\ with "quotes"')
+        registry.counter("c").inc()
+        text = registry.render_prometheus()
+        # Backslash and newline escaped; double quotes left alone (the
+        # 0.0.4 format only escapes quotes in label values).
+        assert '# HELP c multi\\nline \\\\ with "quotes"' in text
+        assert validate_prometheus_text(text) == []
+
+    def test_help_survives_json_round_trip_and_merge(self):
+        registry = MetricsRegistry()
+        registry.describe("docs", "Total docs.")
+        registry.counter("docs").inc(2)
+        clone = MetricsRegistry.from_json(json.loads(registry.render_json()))
+        assert clone.help_text("docs") == "Total docs."
+        assert clone.render_prometheus() == registry.render_prometheus()
+        other = MetricsRegistry()
+        other.counter("docs").inc(1)
+        other.merge(registry)
+        assert other.help_text("docs") == "Total docs."
+
+    def test_first_description_wins(self):
+        registry = MetricsRegistry()
+        registry.describe("docs", "first")
+        registry.describe("docs", "second")
+        assert registry.help_text("docs") == "first"
+
 
 class TestJsonRoundTrip:
     def test_round_trip_preserves_all_series(self):

@@ -74,6 +74,35 @@ class TestRendering:
         assert len(second) >= len(first)  # padding hides stale chars
 
 
+class TestDegenerateRates:
+    def test_zero_elapsed_does_not_divide_by_zero(self):
+        reporter, _, _ = make(total=100)
+        line = reporter.format_line(done=5, failed=0, elapsed=0.0)
+        assert "docs/s" in line  # rendered, finite
+
+    def test_first_tick_rate_is_floored_not_garbage(self):
+        """A merge microseconds into the run must not extrapolate an
+        absurd rate (and a near-zero ETA) from sub-ms elapsed time."""
+        from repro.obs.progress import MIN_RATE_ELAPSED
+
+        reporter, _, _ = make(total=1_000_000)
+        line = reporter.format_line(done=2, failed=0, elapsed=1e-7)
+        floored = 2 / MIN_RATE_ELAPSED
+        assert f"{floored:.1f} docs/s" in line
+
+    def test_zero_throughput_suppresses_eta(self):
+        reporter, _, _ = make(total=100)
+        line = reporter.format_line(done=0, failed=3, elapsed=5.0)
+        assert "ETA" not in line
+        assert "0.0 docs/s" in line
+
+    def test_negative_elapsed_is_safe(self):
+        # Clock skew should never crash the reporter.
+        reporter, _, _ = make(total=100)
+        line = reporter.format_line(done=5, failed=0, elapsed=-1.0)
+        assert "docs/s" in line
+
+
 class TestRateLimit:
     def test_renders_at_most_once_per_interval(self):
         reporter, _, clock = make(min_interval=0.2)
@@ -101,6 +130,23 @@ class TestRateLimit:
         with reporter:
             reporter(FakeStats(3, 0, 1.0))
         assert stream.getvalue().endswith("\n")
+
+    def test_finish_without_renders_writes_nothing(self):
+        """A defensive finish() on a run that never drew a line (e.g.
+        an exception before the first merge) must not emit a stray
+        newline into captured stderr."""
+        reporter, stream, _ = make()
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_finish_after_render_terminates_line_exactly_once(self):
+        reporter, stream, _ = make(min_interval=0.0)
+        reporter(FakeStats(4, 0, 1.0))
+        reporter.finish()
+        reporter.finish()
+        text = stream.getvalue()
+        assert text.endswith("\n")
+        assert text.count("\n") == 1
 
 
 class TestEnablement:

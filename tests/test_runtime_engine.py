@@ -196,6 +196,64 @@ class TestStreamLifecycle:
         stream.close()
         assert shutdown_calls == [(False, True)]
 
+    @pytest.mark.parametrize(
+        "exc_type", [ValueError, KeyboardInterrupt], ids=["consumer", "ctrl-c"]
+    )
+    def test_exceptional_exit_cancels_inflight_work(
+        self, kb, corpus_html, monkeypatch, exc_type
+    ):
+        """A consumer exception or Ctrl-C thrown into the stream must
+        take the same cancel-and-shutdown path as an early close: before
+        the fix, only ``GeneratorExit`` set the interrupted flag, so any
+        other exceptional exit blocked on in-flight chunks in the
+        generator's ``finally`` (``shutdown(wait=True)``)."""
+        import repro.runtime.engine as engine_module
+
+        shutdown_calls = []
+
+        class RecordingPool(engine_module.ProcessPoolExecutor):
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                shutdown_calls.append((wait, cancel_futures))
+                super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        monkeypatch.setattr(
+            engine_module, "ProcessPoolExecutor", RecordingPool
+        )
+        engine = make_engine(kb, 2, chunk_size=2)
+        stream = engine.stream(corpus_html)
+        first = next(stream)
+        assert first.stats.index == 0
+        with pytest.raises(exc_type):
+            stream.throw(exc_type("mid-stream"))
+        assert shutdown_calls == [(False, True)]
+
+    def test_progress_callback_exception_cancels_inflight_work(
+        self, kb, corpus_html, monkeypatch
+    ):
+        """An exception raised *inside* the generator body (here via the
+        progress hook during merge) is an exceptional exit too, and must
+        not fall through to a blocking pool shutdown."""
+        import repro.runtime.engine as engine_module
+
+        shutdown_calls = []
+
+        class RecordingPool(engine_module.ProcessPoolExecutor):
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                shutdown_calls.append((wait, cancel_futures))
+                super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        monkeypatch.setattr(
+            engine_module, "ProcessPoolExecutor", RecordingPool
+        )
+
+        def explode(stats):
+            raise RuntimeError("progress hook failed")
+
+        engine = make_engine(kb, 2, chunk_size=2)
+        with pytest.raises(RuntimeError, match="progress hook failed"):
+            list(engine.stream(corpus_html, progress=explode))
+        assert shutdown_calls == [(False, True)]
+
     def test_normal_exhaustion_waits_for_pool(
         self, kb, corpus_html, monkeypatch
     ):

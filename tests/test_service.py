@@ -1,0 +1,467 @@
+"""Lifecycle and equivalence tests for the conversion service.
+
+The service must be a transparent wrapper over the offline engine:
+
+* XML returned over HTTP is byte-identical to ``convert-corpus`` output
+  for the same documents (the engine's own differential guarantee,
+  extended across the wire);
+* folding per micro-batch through ``/convert/batch`` converges to the
+  same schema (same current DTD bytes, same document count) as one
+  offline ``evolve fold`` over the whole corpus -- the accumulator is a
+  monoid;
+* SIGTERM drains cleanly: in-flight requests complete, the CLI exits 0,
+  and every worker process is gone (no orphans);
+* ``/healthz`` and ``/metrics`` stay truthful, and the Prometheus
+  exposition passes the repo's own validator.
+
+Servers run with ``max_workers=1`` (inline converter) unless a test is
+specifically about the process pool, keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.validate import validate_prometheus_text
+from repro.runtime.engine import CorpusEngine, EngineConfig
+from repro.schema.evolution import EvolvingSchema
+from repro.service import ContractError, ConvertRequest, ServiceConfig
+from repro.service.contracts import MAX_BATCH_DOCUMENTS
+from repro.service.loadtest import (
+    ServerThread,
+    _get,
+    _post,
+    request,
+    run_load,
+)
+from repro.service.server import ConversionService
+
+
+@pytest.fixture(scope="module")
+def corpus_html(small_corpus):
+    return [doc.html for doc in small_corpus]
+
+
+def make_service(kb, tmp_path, *, workers=1, publish=False, conversion=None):
+    return ConversionService(
+        kb,
+        state_dir=tmp_path / "state",
+        config=ServiceConfig(max_workers=workers, publish=publish),
+        conversion=conversion,
+    )
+
+
+@pytest.fixture()
+def live(kb, tmp_path):
+    """A running service (inline worker) plus its address."""
+    server = ServerThread(make_service(kb, tmp_path))
+    host, port = server.start()
+    yield server, host, port
+    server.stop()
+
+
+def fetch(host, port, raw):
+    status, headers, body = asyncio.run(request(host, port, raw))
+    return status, headers, body
+
+
+def post_json(host, port, path, payload):
+    status, _, body = fetch(host, port, _post(path, payload))
+    return status, json.loads(body)
+
+
+# -- request contracts ---------------------------------------------------------
+
+
+class TestContracts:
+    def test_parse_minimal(self):
+        req = ConvertRequest.parse({"source": "<html>x</html>"})
+        assert req.topic == "resume"
+        assert not req.fold and req.schema_version is None
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ContractError):
+            ConvertRequest.parse(["<html>"])
+
+    def test_rejects_empty_source(self):
+        with pytest.raises(ContractError, match="source"):
+            ConvertRequest.parse({"source": "   "})
+
+    def test_rejects_fold_with_schema_version(self):
+        with pytest.raises(ContractError, match="fold"):
+            ConvertRequest.parse(
+                {"source": "<html>x</html>", "fold": True, "schema_version": 2}
+            )
+
+    def test_rejects_bool_schema_version(self):
+        with pytest.raises(ContractError, match="schema_version"):
+            ConvertRequest.parse({"source": "<p>x</p>", "schema_version": True})
+
+    def test_batch_defaults_apply_to_strings(self):
+        requests = ConvertRequest.parse_batch(
+            {"documents": ["<p>a</p>", {"source": "<p>b</p>", "doc_id": "b"}],
+             "fold": True}
+        )
+        assert [r.fold for r in requests] == [True, True]
+        assert requests[1].doc_id == "b"
+
+    def test_batch_caps_size(self):
+        documents = ["<p>x</p>"] * (MAX_BATCH_DOCUMENTS + 1)
+        with pytest.raises(ContractError, match="documents"):
+            ConvertRequest.parse_batch({"documents": documents})
+
+
+# -- cold start + introspection routes ----------------------------------------
+
+
+class TestLifecycleRoutes:
+    def test_healthz_cold_start(self, live):
+        _, host, port = live
+        status, _, body = fetch(host, port, _get("/healthz"))
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["documents"] == 0
+        assert health["topics"] == ["resume"]
+        assert health["worker_pids"] == []  # inline mode: no pool
+
+    def test_metrics_validate_and_count_requests(self, live, corpus_html):
+        _, host, port = live
+        status, payload = post_json(
+            host, port, "/convert", {"source": corpus_html[0]}
+        )
+        assert status == 200 and payload["ok"]
+        status, headers, body = fetch(host, port, _get("/metrics"))
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        text = body.decode("utf-8")
+        assert validate_prometheus_text(text) == []
+        assert "# HELP repro_service_requests_total" in text
+        assert (
+            'repro_service_requests_total{code="200",route="POST /convert"}'
+            in text
+        )
+
+    def test_unknown_route_and_topic(self, live, corpus_html):
+        _, host, port = live
+        status, _, _ = fetch(host, port, _get("/nope"))
+        assert status == 404
+        status, payload = post_json(
+            host, port, "/convert",
+            {"source": corpus_html[0], "topic": "magazines"},
+        )
+        assert status == 404 and "magazines" in payload["error"]
+
+    def test_bad_json_is_400(self, live):
+        _, host, port = live
+        raw = (
+            b"POST /convert HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\n"
+            b"not json!"
+        )
+        status, _, _ = fetch(host, port, raw)
+        assert status == 400
+
+    def test_schemas_empty_until_fold(self, live):
+        _, host, port = live
+        status, _, body = fetch(host, port, _get("/schemas/resume"))
+        assert status == 200
+        described = json.loads(body)
+        assert described["schema_version"] == 0
+        assert described["documents"] == 0
+        assert described["dtd"] is None
+
+
+# -- differential equivalence with the offline engine --------------------------
+
+
+class TestOfflineEquivalence:
+    def test_batch_xml_byte_identical_to_engine(
+        self, kb, live, corpus_html
+    ):
+        _, host, port = live
+        offline = CorpusEngine(
+            kb, engine_config=EngineConfig(max_workers=1, chunk_size=3)
+        ).run(corpus_html, collect_xml=True).corpus.xml_documents
+        status, payload = post_json(
+            host, port, "/convert/batch", {"documents": corpus_html}
+        )
+        assert status == 200
+        assert payload["documents"] == len(corpus_html)
+        assert payload["failed"] == 0
+        served = [result["xml"] for result in payload["results"]]
+        assert served == offline  # byte-identical, in order
+
+    def test_concurrent_singles_match_engine(self, kb, live, corpus_html):
+        _, host, port = live
+        offline = CorpusEngine(
+            kb, engine_config=EngineConfig(max_workers=1, chunk_size=3)
+        ).run(corpus_html, collect_xml=True).corpus.xml_documents
+
+        async def hammer():
+            return await asyncio.gather(*(
+                request(host, port, _post("/convert", {"source": html}))
+                for html in corpus_html
+            ))
+
+        responses = asyncio.run(hammer())
+        served = []
+        for status, _, body in responses:
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["ok"]
+            served.append(payload["xml"])
+        # Concurrent submissions may be batched in any arrival order,
+        # but every document's bytes must match its offline twin.
+        assert sorted(served) == sorted(offline)
+
+    def test_fold_equivalent_to_offline_evolve_fold(
+        self, kb, tmp_path, corpus_html
+    ):
+        server = ServerThread(make_service(kb, tmp_path))
+        host, port = server.start()
+        try:
+            # Fold in three uneven waves -- the monoid must not care.
+            for lo, hi in ((0, 3), (3, 4), (4, len(corpus_html))):
+                status, payload = post_json(
+                    host, port, "/convert/batch",
+                    {"documents": corpus_html[lo:hi], "fold": True},
+                )
+                assert status == 200 and payload["failed"] == 0
+                assert all(r["folded"] for r in payload["results"])
+            status, _, body = fetch(host, port, _get("/schemas/resume"))
+            served = json.loads(body)
+        finally:
+            server.stop()
+
+        offline_dir = tmp_path / "offline"
+        evolving = EvolvingSchema(offline_dir, kb)
+        evolving.save_state()
+        result = CorpusEngine(
+            kb, engine_config=EngineConfig(max_workers=1, chunk_size=4)
+        ).run(corpus_html).corpus
+        evolving.fold(result.accumulator)
+
+        assert served["documents"] == evolving.total_documents()
+        assert served["dtd"] == evolving.dtd_text
+        # The service's on-disk checkpoint holds the same current DTD.
+        service_dtd = (
+            tmp_path / "state" / "resume" / "evolution" / "current.dtd"
+        ).read_text(encoding="utf-8")
+        assert service_dtd.rstrip("\n") == evolving.dtd_text.rstrip("\n")
+
+    def test_schema_version_targeting(self, kb, tmp_path, corpus_html):
+        server = ServerThread(make_service(kb, tmp_path))
+        host, port = server.start()
+        try:
+            status, payload = post_json(
+                host, port, "/convert/batch",
+                {"documents": corpus_html[:6], "fold": True},
+            )
+            assert status == 200
+            version = payload["fold"]["schema_version"]
+            assert version >= 1
+            # Conversion pinned to the archived version succeeds and
+            # reports the version it conformed against.
+            status, payload = post_json(
+                host, port, "/convert",
+                {"source": corpus_html[6], "schema_version": version},
+            )
+            assert status == 200 and payload["ok"]
+            assert payload["schema_version"] == version
+            # The archived DTD is servable.
+            status, _, body = fetch(
+                host, port, _get(f"/schemas/resume/v{version}")
+            )
+            assert status == 200
+            assert json.loads(body)["dtd"].strip()
+            # A version that never existed is a 400 on convert, 404 on GET.
+            status, _ = post_json(
+                host, port, "/convert",
+                {"source": corpus_html[6], "schema_version": 99},
+            )
+            assert status == 400
+            status, _, _ = fetch(host, port, _get("/schemas/resume/v99"))
+            assert status == 404
+        finally:
+            server.stop()
+
+
+# -- failures stay per-document ------------------------------------------------
+
+
+class TestDocumentFailures:
+    def test_chaos_document_is_422_not_fatal(self, kb, tmp_path, corpus_html):
+        from repro.convert.config import ConversionConfig
+
+        service = make_service(
+            kb, tmp_path,
+            conversion=ConversionConfig(chaos_fail_marker="CHAOS-BOOM"),
+        )
+        server = ServerThread(service)
+        host, port = server.start()
+        try:
+            status, payload = post_json(
+                host, port, "/convert",
+                {"source": "<html><p>CHAOS-BOOM</p></html>", "doc_id": "bad"},
+            )
+            assert status == 422
+            assert not payload["ok"]
+            assert payload["doc_id"] == "bad"
+            assert payload["error"]["error_type"] == "InjectedFaultError"
+            # The service survives: the next document converts fine.
+            status, payload = post_json(
+                host, port, "/convert", {"source": corpus_html[0]}
+            )
+            assert status == 200 and payload["ok"]
+            # And /healthz reflects the failure count.
+            _, _, body = fetch(host, port, _get("/healthz"))
+            health = json.loads(body)
+            assert health["documents_failed"] == 1
+        finally:
+            server.stop()
+
+    def test_mixed_batch_reports_both(self, kb, tmp_path, corpus_html):
+        from repro.convert.config import ConversionConfig
+
+        service = make_service(
+            kb, tmp_path,
+            conversion=ConversionConfig(chaos_fail_marker="CHAOS-BOOM"),
+        )
+        server = ServerThread(service)
+        host, port = server.start()
+        try:
+            documents = [
+                corpus_html[0],
+                "<html><p>CHAOS-BOOM</p></html>",
+                corpus_html[1],
+            ]
+            status, payload = post_json(
+                host, port, "/convert/batch", {"documents": documents}
+            )
+            assert status == 200
+            assert payload["converted"] == 2 and payload["failed"] == 1
+            oks = [result["ok"] for result in payload["results"]]
+            assert oks == [True, False, True]
+        finally:
+            server.stop()
+
+
+# -- concurrency + backpressure ------------------------------------------------
+
+
+class TestConcurrentLoad:
+    def test_many_concurrent_clients_zero_drops(self, kb, tmp_path, corpus_html):
+        server = ServerThread(make_service(kb, tmp_path))
+        host, port = server.start()
+        try:
+            report = asyncio.run(run_load(
+                host, port, corpus_html[:4],
+                clients=60, requests_per_client=2,
+            ))
+        finally:
+            server.stop()
+        assert report.dropped == 0
+        assert report.failed == 0
+        assert report.completed == 120
+        assert report.converted == 120
+        assert report.latency.count == 120
+
+    def test_batch_documents_metric_observes_chunks(
+        self, kb, tmp_path, corpus_html
+    ):
+        server = ServerThread(make_service(kb, tmp_path))
+        host, port = server.start()
+        try:
+            status, payload = post_json(
+                host, port, "/convert/batch",
+                {"documents": corpus_html[:5]},
+            )
+            assert status == 200 and payload["failed"] == 0
+            _, _, body = fetch(host, port, _get("/metrics"))
+        finally:
+            server.stop()
+        text = body.decode("utf-8")
+        assert "repro_service_batch_documents" in text
+        assert validate_prometheus_text(text) == []
+
+
+# -- graceful drain ------------------------------------------------------------
+
+
+class TestDrain:
+    def test_shutdown_rejects_new_submissions(self, kb, tmp_path, corpus_html):
+        service = make_service(kb, tmp_path)
+        server = ServerThread(service)
+        host, port = server.start()
+        server.stop()
+        assert service.draining
+        # Every pool refuses post-shutdown work.
+        for pool in service.pools.values():
+            assert pool._closed
+
+    def test_sigterm_drains_with_no_orphans(self, tmp_path, corpus_html):
+        """End-to-end: `repro-web serve` under SIGTERM exits 0, prints
+        the drain line, and leaves no worker processes behind."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        env.setdefault("PYTHONUNBUFFERED", "1")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--max-workers", "2",
+             "--state-dir", str(tmp_path / "state")],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("listening on http://"), line
+            address = line.strip().rsplit("http://", 1)[1]
+            host, port_text = address.rsplit(":", 1)
+            port = int(port_text)
+
+            # Real work through the real pool, then capture worker pids.
+            status, payload = post_json(
+                host, port, "/convert", {"source": corpus_html[0]}
+            )
+            assert status == 200 and payload["ok"]
+            _, _, body = fetch(host, port, _get("/healthz"))
+            pids = json.loads(body)["worker_pids"]
+            assert len(pids) >= 1
+
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=60)
+            assert proc.returncode == 0, stderr
+            assert "drained cleanly" in stdout
+
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                alive = [pid for pid in pids if _pid_alive(pid)]
+                if not alive:
+                    break
+                time.sleep(0.1)
+            assert not [pid for pid in pids if _pid_alive(pid)], (
+                f"orphaned workers: {alive}"
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - not ours, but alive
+        return True
+    return True
